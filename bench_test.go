@@ -1,0 +1,46 @@
+// Top-level benchmarks: one testing.B entry per table and figure of the
+// paper's evaluation, running the corresponding experiment at reduced
+// scale. Use cmd/mdzbench for full-scale runs with printed tables.
+package mdz_test
+
+import (
+	"testing"
+
+	"github.com/mdz/mdz/internal/bench"
+)
+
+// benchConfig keeps per-iteration work bounded; dataset generation is
+// cached across iterations inside the harness.
+var benchConfig = bench.Config{Scale: 0.25, Seed: 7}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Run(id, benchConfig)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatalf("%s: empty report", id)
+		}
+	}
+}
+
+func BenchmarkFig3Characterization(b *testing.B)  { runExperiment(b, "fig3") }
+func BenchmarkFig4Distributions(b *testing.B)     { runExperiment(b, "fig4") }
+func BenchmarkFig5Temporal(b *testing.B)          { runExperiment(b, "fig5") }
+func BenchmarkFig8Similarity(b *testing.B)        { runExperiment(b, "fig8") }
+func BenchmarkTab2PredictionError(b *testing.B)   { runExperiment(b, "tab2") }
+func BenchmarkFig9QuantScale(b *testing.B)        { runExperiment(b, "fig9") }
+func BenchmarkTab3Sequence(b *testing.B)          { runExperiment(b, "tab3") }
+func BenchmarkFig10AdaptiveTracking(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFig11ADP(b *testing.B)              { runExperiment(b, "fig11") }
+func BenchmarkTab4SZModes(b *testing.B)           { runExperiment(b, "tab4") }
+func BenchmarkTab5Lossless(b *testing.B)          { runExperiment(b, "tab5") }
+func BenchmarkFig12Ratio(b *testing.B)            { runExperiment(b, "fig12") }
+func BenchmarkFig13RateDistortion(b *testing.B)   { runExperiment(b, "fig13") }
+func BenchmarkTab6ErrorAtCR10(b *testing.B)       { runExperiment(b, "tab6") }
+func BenchmarkFig14RDF(b *testing.B)              { runExperiment(b, "fig14") }
+func BenchmarkFig15Throughput(b *testing.B)       { runExperiment(b, "fig15") }
+func BenchmarkFig16HACC(b *testing.B)             { runExperiment(b, "fig16") }
+func BenchmarkTab7LAMMPS(b *testing.B)            { runExperiment(b, "tab7") }

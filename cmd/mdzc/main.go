@@ -1,0 +1,218 @@
+// Command mdzc compresses and decompresses .mdzd trajectory files with MDZ.
+//
+// Usage:
+//
+//	mdzc -c traj.mdzd -o traj.mdz            # compress (eps=1E-3, BS=10)
+//	mdzc -c traj.xyz  -o traj.mdz            # XYZ text trajectories work too
+//	mdzc -c traj.mdzd -o traj.mdz -eps 1e-4 -bs 50 -method MT
+//	mdzc -d traj.mdz -o restored.mdzd        # decompress (or -o restored.xyz)
+//	mdzc -info traj.mdz                      # stream statistics
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	mdz "github.com/mdz/mdz"
+	"github.com/mdz/mdz/internal/dataset"
+)
+
+const fileMagic = "MDZC"
+
+func main() {
+	compress := flag.String("c", "", "compress: input .mdzd path")
+	decompress := flag.String("d", "", "decompress: input .mdz path")
+	info := flag.String("info", "", "print stream statistics for a .mdz path")
+	out := flag.String("o", "", "output path")
+	eps := flag.Float64("eps", 1e-3, "value-range-based error bound")
+	bs := flag.Int("bs", 10, "buffer size (snapshots per batch)")
+	method := flag.String("method", "ADP", "compression method: ADP, VQ, VQT, MT")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *compress != "":
+		err = doCompress(*compress, *out, *eps, *bs, *method)
+	case *decompress != "":
+		err = doDecompress(*decompress, *out)
+	case *info != "":
+		err = doInfo(*info)
+	default:
+		fmt.Fprintln(os.Stderr, "mdzc: one of -c, -d, -info required (see -h)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdzc:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMethod(s string) (mdz.Method, error) {
+	switch strings.ToUpper(s) {
+	case "ADP":
+		return mdz.ADP, nil
+	case "VQ":
+		return mdz.VQ, nil
+	case "VQT":
+		return mdz.VQT, nil
+	case "MT":
+		return mdz.MT, nil
+	}
+	return mdz.ADP, fmt.Errorf("unknown method %q", s)
+}
+
+func doCompress(in, out string, eps float64, bs int, methodName string) error {
+	if out == "" {
+		return fmt.Errorf("-o required")
+	}
+	m, err := parseMethod(methodName)
+	if err != nil {
+		return err
+	}
+	d, err := loadTrajectory(in)
+	if err != nil {
+		return err
+	}
+	frames := make([]mdz.Frame, d.M())
+	for i, f := range d.Frames {
+		frames[i] = mdz.Frame{X: f.X, Y: f.Y, Z: f.Z}
+	}
+	stream, err := mdz.Compress(frames, mdz.Config{
+		ErrorBound: eps, Method: m, BufferSize: bs,
+	})
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	buf = append(buf, fileMagic...)
+	buf = appendString(buf, d.Meta.Name)
+	buf = appendString(buf, d.Meta.State)
+	buf = appendString(buf, d.Meta.Code)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(stream)))
+	buf = append(buf, stream...)
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("compressed %s: %d -> %d bytes (CR %.2f)\n",
+		in, d.SizeBytes(), len(stream), float64(d.SizeBytes())/float64(len(stream)))
+	return nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	if len(buf) < 4 {
+		return "", nil, fmt.Errorf("truncated file")
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	if uint64(len(buf)) < uint64(n) {
+		return "", nil, fmt.Errorf("truncated file")
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+func parseContainer(path string) (meta [3]string, stream []byte, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return meta, nil, err
+	}
+	if len(buf) < 4 || string(buf[:4]) != fileMagic {
+		return meta, nil, fmt.Errorf("%s is not an mdzc file", path)
+	}
+	buf = buf[4:]
+	for i := range meta {
+		meta[i], buf, err = readString(buf)
+		if err != nil {
+			return meta, nil, err
+		}
+	}
+	if len(buf) < 8 {
+		return meta, nil, fmt.Errorf("truncated file")
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	if uint64(len(buf)) < n {
+		return meta, nil, fmt.Errorf("truncated file")
+	}
+	return meta, buf[:n], nil
+}
+
+func doDecompress(in, out string) error {
+	if out == "" {
+		return fmt.Errorf("-o required")
+	}
+	meta, stream, err := parseContainer(in)
+	if err != nil {
+		return err
+	}
+	frames, err := mdz.Decompress(stream)
+	if err != nil {
+		return err
+	}
+	d := &dataset.Dataset{Meta: dataset.Metadata{Name: meta[0], State: meta[1], Code: meta[2]}}
+	for _, f := range frames {
+		d.Frames = append(d.Frames, dataset.Frame{X: f.X, Y: f.Y, Z: f.Z})
+	}
+	if err := saveTrajectory(d, out); err != nil {
+		return err
+	}
+	fmt.Printf("decompressed %s: %d snapshots x %d atoms -> %s\n", in, d.M(), d.N(), out)
+	return nil
+}
+
+func doInfo(in string) error {
+	meta, stream, err := parseContainer(in)
+	if err != nil {
+		return err
+	}
+	frames, err := mdz.Decompress(stream)
+	if err != nil {
+		return err
+	}
+	n := 0
+	if len(frames) > 0 {
+		n = frames[0].N()
+	}
+	raw := len(frames) * n * 3 * 8
+	fmt.Printf("dataset: %s (%s, %s)\n", meta[0], meta[1], meta[2])
+	fmt.Printf("snapshots: %d  atoms: %d\n", len(frames), n)
+	fmt.Printf("compressed: %d bytes  raw: %d bytes  CR: %.2f\n",
+		len(stream), raw, float64(raw)/float64(len(stream)))
+	return nil
+}
+
+// loadTrajectory reads .mdzd binary or .xyz text trajectories by extension.
+func loadTrajectory(path string) (*dataset.Dataset, error) {
+	if strings.HasSuffix(strings.ToLower(path), ".xyz") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dataset.ReadXYZ(f)
+	}
+	return dataset.Load(path)
+}
+
+// saveTrajectory writes .mdzd binary or .xyz text by extension.
+func saveTrajectory(d *dataset.Dataset, path string) error {
+	if strings.HasSuffix(strings.ToLower(path), ".xyz") {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := d.WriteXYZ(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return d.Save(path)
+}

@@ -1,0 +1,44 @@
+// Command mdzsim runs the Lennard-Jones benchmark with an inline MDZ dump
+// hook — the reproduction of the paper's LAMMPS integration study (Table
+// VII). It reports the runtime breakdown with and without compression.
+//
+// Usage:
+//
+//	mdzsim -atoms 4000 -steps 2000 -save 100
+//	mdzsim -atoms 32000 -steps 1000 -save 20 -dir /tmp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mdz/mdz/internal/bench"
+)
+
+func main() {
+	atoms := flag.Int("atoms", 4000, "number of atoms (rounded to FCC cells)")
+	steps := flag.Int("steps", 1000, "simulation steps")
+	save := flag.Int("save", 100, "dump a snapshot every N steps")
+	dir := flag.String("dir", os.TempDir(), "directory for dump files")
+	flag.Parse()
+
+	fmt.Printf("LJ benchmark: %d atoms, %d steps, save every %d\n\n", *atoms, *steps, *save)
+	fmt.Printf("%-10s %-10s %-8s %-9s %-10s\n", "option", "duration", "comp%", "output%", "dumpMB")
+	for _, compress := range []bool{false, true} {
+		total, compute, output, bytes, err := bench.SimulateLJ(*atoms, *steps, *save, compress, *dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdzsim:", err)
+			os.Exit(1)
+		}
+		opt := "w/o MDZ"
+		if compress {
+			opt = "w MDZ"
+		}
+		fmt.Printf("%-10s %-10s %-8.1f %-9.2f %-10.2f\n", opt,
+			fmt.Sprintf("%.2fs", total.Seconds()),
+			100*compute.Seconds()/total.Seconds(),
+			100*output.Seconds()/total.Seconds(),
+			float64(bytes)/1e6)
+	}
+}

@@ -1,0 +1,69 @@
+package mdz_test
+
+import (
+	"fmt"
+	"math"
+
+	mdz "github.com/mdz/mdz"
+)
+
+// toy builds a deterministic 3-frame trajectory of 4 particles.
+func toy() []mdz.Frame {
+	frames := make([]mdz.Frame, 3)
+	for t := range frames {
+		f := mdz.Frame{X: make([]float64, 4), Y: make([]float64, 4), Z: make([]float64, 4)}
+		for i := 0; i < 4; i++ {
+			f.X[i] = float64(i) + 0.001*float64(t)
+			f.Y[i] = 2 * float64(i)
+			f.Z[i] = -float64(i)
+		}
+		frames[t] = f
+	}
+	return frames
+}
+
+func ExampleCompress() {
+	frames := toy()
+	stream, err := mdz.Compress(frames, mdz.Config{ErrorBound: 1e-3})
+	if err != nil {
+		panic(err)
+	}
+	restored, err := mdz.Decompress(stream)
+	if err != nil {
+		panic(err)
+	}
+	worst := 0.0
+	for t := range frames {
+		for i := range frames[t].X {
+			if d := math.Abs(frames[t].X[i] - restored[t].X[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	fmt.Printf("frames: %d, bound held: %v\n", len(restored), worst <= 1e-3*3.002)
+	// Output:
+	// frames: 3, bound held: true
+}
+
+func ExampleCompressor_streaming() {
+	c, err := mdz.NewCompressor(mdz.Config{ErrorBound: 0.01, Mode: mdz.Absolute, Method: mdz.MT})
+	if err != nil {
+		panic(err)
+	}
+	d := mdz.NewDecompressor()
+	total := 0
+	for _, batch := range mdz.Batch(toy(), 2) {
+		blk, err := c.CompressBatch(batch)
+		if err != nil {
+			panic(err)
+		}
+		out, err := d.DecompressBatch(blk)
+		if err != nil {
+			panic(err)
+		}
+		total += len(out)
+	}
+	fmt.Println("decoded frames:", total)
+	// Output:
+	// decoded frames: 3
+}

@@ -1,0 +1,81 @@
+// In-situ compression demo: run a real Lennard-Jones MD simulation with the
+// internal engine and compress snapshots inline as they are produced —
+// the execution model of the paper's LAMMPS integration (§VII-D), where
+// batches of BS snapshots are compressed to avoid out-of-memory buffering.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	mdz "github.com/mdz/mdz"
+	"github.com/mdz/mdz/internal/sim"
+)
+
+func main() {
+	// 4x4x4 FCC cells of LJ liquid at T* = 1.0.
+	pos, box := sim.FCC(6, 6, 6, 1.71)
+	s := sim.NewSystem(box, pos, 3)
+	s.Pair = sim.NewLJ(1, 1, 2.5)
+	s.Thermo = sim.Langevin
+	s.Temp = 1.0
+	s.Gamma = 1
+	s.Dt = 0.004
+	s.InitVelocities(1.4)
+	s.Run(200) // melt + equilibrate
+	fmt.Printf("LJ liquid: %d atoms, T*=%.2f after equilibration\n", s.N(), s.Temperature())
+
+	c, err := mdz.NewCompressor(mdz.Config{ErrorBound: 1e-4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		batches   = 6
+		bs        = 10
+		saveEvery = 5
+	)
+	var stream [][]byte
+	var originals []mdz.Frame
+	for b := 0; b < batches; b++ {
+		batch := make([]mdz.Frame, bs)
+		for t := 0; t < bs; t++ {
+			s.Run(saveEvery)
+			x, y, z := s.Snapshot()
+			batch[t] = mdz.Frame{X: x, Y: y, Z: z}
+		}
+		blk, err := c.CompressBatch(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stream = append(stream, blk)
+		originals = append(originals, batch...)
+		raw := bs * s.N() * 3 * 8
+		fmt.Printf("batch %d: %6d -> %6d bytes (CR %.1f, methods %v)\n",
+			b, raw, len(blk), float64(raw)/float64(len(blk)), c.Methods())
+	}
+
+	// Decompress everything and check physics-level fidelity: per-atom
+	// displacement error.
+	d := mdz.NewDecompressor()
+	var restored []mdz.Frame
+	for _, blk := range stream {
+		batch, err := d.DecompressBatch(blk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		restored = append(restored, batch...)
+	}
+	var worst float64
+	for t := range originals {
+		for i := 0; i < s.N(); i++ {
+			dx := originals[t].X[i] - restored[t].X[i]
+			dy := originals[t].Y[i] - restored[t].Y[i]
+			dz := originals[t].Z[i] - restored[t].Z[i]
+			if r := math.Sqrt(dx*dx + dy*dy + dz*dz); r > worst {
+				worst = r
+			}
+		}
+	}
+	fmt.Printf("max atom displacement error: %.2e (box edge %.1f)\n", worst, box.L.X)
+}

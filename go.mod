@@ -1,0 +1,3 @@
+module github.com/mdz/mdz
+
+go 1.22

@@ -1,0 +1,53 @@
+package mdz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBlockChecksumDetectsCorruption(t *testing.T) {
+	frames := makeFrames(10, 100, 31)
+	c, _ := NewCompressor(Config{ErrorBound: 1e-3})
+	blk, err := c.CompressBatch(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit: the CRC must catch it even if the underlying
+	// codec would happily mis-decode.
+	for _, pos := range []int{8, len(blk) / 2, len(blk) - 6} {
+		bad := append([]byte(nil), blk...)
+		bad[pos] ^= 0x40
+		d := NewDecompressor()
+		if _, err := d.DecompressBatch(bad); err == nil {
+			t.Errorf("bit flip at %d went undetected", pos)
+		} else if !strings.Contains(err.Error(), "checksum") &&
+			!strings.Contains(err.Error(), "corrupt") &&
+			!strings.Contains(err.Error(), "not an MDZ") {
+			t.Logf("flip at %d detected via: %v", pos, err)
+		}
+	}
+	// Untouched block still decodes.
+	d := NewDecompressor()
+	if _, err := d.DecompressBatch(blk); err != nil {
+		t.Fatalf("pristine block rejected: %v", err)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	frames := makeFrames(20, 200, 32)
+	seq, _ := NewCompressor(Config{ErrorBound: 1e-3})
+	par, _ := NewCompressor(Config{ErrorBound: 1e-3, Parallel: true})
+	for _, batch := range Batch(frames, 10) {
+		a, err := seq.CompressBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.CompressBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatal("parallel output differs from sequential")
+		}
+	}
+}

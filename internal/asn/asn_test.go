@@ -1,0 +1,90 @@
+package asn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mdz/mdz/internal/asn"
+	"github.com/mdz/mdz/internal/codec"
+	"github.com/mdz/mdz/internal/codec/codectest"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.RunConformance(t, codec.FromBatch(&asn.Compressor{}))
+}
+
+func TestName(t *testing.T) {
+	if (&asn.Compressor{}).Name() != "ASN" {
+		t.Error("name")
+	}
+}
+
+// Constant-velocity drift favors the order-2 (extrapolation) predictor;
+// compression should improve markedly versus random-walk data of the same
+// step magnitude.
+func TestOrder2HelpsLinearDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bs, n := 12, 2000
+	vel := make([]float64, n)
+	pos := make([]float64, n)
+	for i := range vel {
+		pos[i] = rng.Float64() * 10
+		vel[i] = (rng.Float64() - 0.5) * 0.1
+	}
+	drift := make([][]float64, bs)
+	for t2 := range drift {
+		snap := make([]float64, n)
+		for i := range snap {
+			pos[i] += vel[i]
+			snap[i] = pos[i]
+		}
+		drift[t2] = snap
+	}
+	// Random-walk control: same per-step magnitude, direction re-drawn each
+	// step, so order-2 extrapolation cannot help.
+	walk := make([][]float64, bs)
+	wpos := make([]float64, n)
+	copy(wpos, pos)
+	for t2 := range walk {
+		snap := make([]float64, n)
+		for i := range snap {
+			wpos[i] += (rng.Float64() - 0.5) * 0.1
+			snap[i] = wpos[i]
+		}
+		walk[t2] = snap
+	}
+	c := &asn.Compressor{}
+	blkDrift, err := c.CompressSeries(drift, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blkWalk, err := c.CompressSeries(walk, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With perfect linear motion, order-2 prediction is near-exact after
+	// the first two snapshots, so drift must compress clearly better.
+	if float64(len(blkDrift)) > 0.8*float64(len(blkWalk)) {
+		t.Errorf("linear drift %d B vs random walk %d B: order-2 predictor ineffective", len(blkDrift), len(blkWalk))
+	}
+	got, err := c.DecompressSeries(blkDrift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != bs {
+		t.Fatal("shape")
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	c := &asn.Compressor{}
+	blk, err := c.CompressSeries([][]float64{{1, 2}, {1.1, 2.1}}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, len(blk) - 2} {
+		if _, err := c.DecompressSeries(blk[:cut]); err == nil {
+			t.Errorf("prefix %d accepted", cut)
+		}
+	}
+}

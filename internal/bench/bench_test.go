@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mdz/mdz/internal/codec"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config { return Config{Scale: 0.25, Seed: 7} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16",
+		"tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
+		"ext1", "abl1", "abl2",
+	}
+	have := map[string]bool{}
+	for _, id := range Experiments() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+	if len(Experiments()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(Experiments()), len(want))
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", tiny()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestAllExperimentsRun executes every registered experiment at tiny scale:
+// the full reproduction path must at least complete and produce rows.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, id := range Experiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(id, tiny())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatalf("%s: no rows", id)
+			}
+			if len(rep.Columns) == 0 {
+				t.Fatalf("%s: no columns", id)
+			}
+			var sb strings.Builder
+			if _, err := rep.WriteTo(&sb); err != nil {
+				t.Fatalf("%s: render: %v", id, err)
+			}
+			if !strings.Contains(sb.String(), id) {
+				t.Errorf("%s: rendered report lacks id header", id)
+			}
+			if csv := rep.CSV(); !strings.Contains(csv, ",") {
+				t.Errorf("%s: CSV output malformed", id)
+			}
+		})
+	}
+}
+
+func TestRunCodecBasics(t *testing.T) {
+	d, err := load("Copper-B", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCodec(d, codec.MDZFactory{}, RunOptions{Epsilon: 1e-3, BufferSize: 10, KeepRecon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CR <= 1 {
+		t.Errorf("CR = %v, expected compression", res.CR)
+	}
+	if res.BitRate <= 0 || res.BitRate >= 64 {
+		t.Errorf("BitRate = %v", res.BitRate)
+	}
+	if res.Err.MaxError <= 0 {
+		t.Error("MaxError not recorded")
+	}
+	if len(res.Recon) != d.M() {
+		t.Errorf("Recon has %d frames, want %d", len(res.Recon), d.M())
+	}
+	if res.EncodeMBps <= 0 || res.DecodeMBps <= 0 {
+		t.Error("throughput not recorded")
+	}
+	// Per-axis error bound: eps times each axis range.
+	for ai := range res.PerAxisErr {
+		if res.PerAxisErr[ai].MaxError > 1e-3*res.PerAxisErr[ai].Range*1.0001 {
+			t.Errorf("axis %d: MaxError %v exceeds eps*range", ai, res.PerAxisErr[ai].MaxError)
+		}
+	}
+}
+
+func TestExclusionEmulation(t *testing.T) {
+	for _, c := range []struct {
+		dataset, codec string
+		want           bool
+	}{
+		{"Pt", "TNG", true},
+		{"LJ", "TNG", true},
+		{"Copper-A", "TNG", false},
+		{"Copper-A", "HRTC", true},
+		{"Helium-A", "HRTC", true},
+		{"Copper-B", "HRTC", false},
+		{"Copper-B", "MDZ", false},
+	} {
+		d, err := load(c.dataset, tiny())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Excluded(c.codec, d.Meta); got != c.want {
+			t.Errorf("Excluded(%s, %s) = %v, want %v", c.codec, c.dataset, got, c.want)
+		}
+	}
+}
+
+func TestSearchEpsilonForCR(t *testing.T) {
+	d, err := load("Copper-B", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, res, err := SearchEpsilonForCR(d, codec.MDZFactory{}, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps <= 0 {
+		t.Errorf("eps = %v", eps)
+	}
+	if res.CR < 6 || res.CR > 16 {
+		t.Errorf("CR = %v, want ≈10", res.CR)
+	}
+	if len(res.Recon) == 0 {
+		t.Error("reconstruction not kept")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	rep := &Report{ID: "x", Title: "demo", Columns: []string{"a", "bb"}}
+	rep.AddRow("v", 3.14159)
+	rep.AddRow(123456.0, 1e-9)
+	var sb strings.Builder
+	if _, err := rep.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "3.14") {
+		t.Errorf("render:\n%s", out)
+	}
+	if got := rep.CSV(); !strings.HasPrefix(got, "a,bb\n") {
+		t.Errorf("csv: %q", got)
+	}
+}
+
+func TestDatasetCache(t *testing.T) {
+	a, err := load("LJ", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := load("LJ", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache miss for identical config")
+	}
+	c, err := load("LJ", Config{Scale: 0.25, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds must not share cache entries")
+	}
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/mdz/mdz/internal/core"
+	"github.com/mdz/mdz/internal/sim"
+)
+
+func init() {
+	register("tab7", "LJ simulation runtime breakdown with and without MDZ", runTab7)
+}
+
+// SimulateLJ runs the Lennard-Jones benchmark for the given number of
+// steps, dumping a snapshot every saveEvery steps. With compress=true the
+// dump path batches BS=10 snapshots through MDZ before writing, mirroring
+// the paper's LAMMPS integration (§VII-D). It returns wall-clock totals.
+//
+// Substitution note: the paper's runs are MPI-parallel, so they report a
+// communication fraction; this single-process engine has no MPI, so the
+// breakdown is computation vs output only — the comparison that matters
+// (output share with vs without MDZ) is preserved.
+func SimulateLJ(atoms, steps, saveEvery int, compress bool, dir string) (total, compute, output time.Duration, bytesWritten int64, err error) {
+	c := int(math.Cbrt(float64(atoms) / 4))
+	if c < 2 {
+		c = 2
+	}
+	pos, box := sim.FCC(c, c, c, 1.71)
+	s := sim.NewSystem(box, pos, 11)
+	s.Pair = sim.NewLJ(1, 1, 2.5)
+	s.Thermo = sim.Langevin
+	s.Temp = 1.0
+	s.Gamma = 1
+	s.Dt = 0.004
+	s.InitVelocities(1.2)
+
+	path := filepath.Join(dir, fmt.Sprintf("dump-%d-%d-%v.bin", atoms, saveEvery, compress))
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer os.Remove(path)
+	defer f.Close()
+
+	var encs [3]*core.Encoder
+	if compress {
+		for i := range encs {
+			encs[i], err = core.NewEncoder(core.Params{ErrorBound: 1e-3 * box.L.X, Method: core.ADP, AdaptInterval: 5})
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+		}
+	}
+	const bs = 10
+	var batch [3][][]float64
+
+	flush := func() error {
+		if len(batch[0]) == 0 {
+			return nil
+		}
+		for ai := range batch {
+			if compress {
+				blk, err := encs[ai].EncodeBatch(batch[ai])
+				if err != nil {
+					return err
+				}
+				if _, err := f.Write(blk); err != nil {
+					return err
+				}
+				bytesWritten += int64(len(blk))
+			} else {
+				buf := make([]byte, 0, len(batch[ai])*len(batch[ai][0])*8)
+				for _, snap := range batch[ai] {
+					for _, v := range snap {
+						buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+					}
+				}
+				if _, err := f.Write(buf); err != nil {
+					return err
+				}
+				bytesWritten += int64(len(buf))
+			}
+			batch[ai] = batch[ai][:0]
+		}
+		return nil
+	}
+
+	start := time.Now()
+	for step := 0; step < steps; step++ {
+		t0 := time.Now()
+		s.Step()
+		compute += time.Since(t0)
+		if step%saveEvery == 0 {
+			t1 := time.Now()
+			x, y, z := s.Snapshot()
+			batch[0] = append(batch[0], x)
+			batch[1] = append(batch[1], y)
+			batch[2] = append(batch[2], z)
+			if len(batch[0]) == bs {
+				if err := flush(); err != nil {
+					return 0, 0, 0, 0, err
+				}
+			}
+			output += time.Since(t1)
+		}
+	}
+	t1 := time.Now()
+	if err := flush(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := f.Sync(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	output += time.Since(t1)
+	total = time.Since(start)
+	return total, compute, output, bytesWritten, nil
+}
+
+// runTab7 reproduces Table VII's runtime breakdown at reduced scale: three
+// system sizes × two save frequencies × with/without MDZ.
+func runTab7(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID: "tab7", Title: Title("tab7"),
+		Columns: []string{"saveEvery", "atoms", "option", "duration", "comp%", "output%", "dumpMB"},
+		Notes: []string{
+			"paper Table VII: MDZ leaves total runtime unchanged and shrinks the output share",
+			"single-process engine: no MPI communication column (see DESIGN.md section 5)",
+		},
+	}
+	sizes := []int{500, 2048, 6912}
+	steps := 400
+	freqs := []int{5, 100} // scaled analog of the paper's 100 / 5000
+	if cfg.scale() < 1 {
+		sizes = []int{256, 864}
+		steps = 120
+	}
+	dir, err := os.MkdirTemp("", "mdz-tab7-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	for _, freq := range freqs {
+		for _, atoms := range sizes {
+			for _, compress := range []bool{false, true} {
+				total, compute, output, bytes, err := SimulateLJ(atoms, steps, freq, compress, dir)
+				if err != nil {
+					return nil, err
+				}
+				opt := "w/o MDZ"
+				if compress {
+					opt = "w MDZ"
+				}
+				rep.AddRow(freq, atoms, opt,
+					fmt.Sprintf("%.2fs", total.Seconds()),
+					100*compute.Seconds()/total.Seconds(),
+					100*output.Seconds()/total.Seconds(),
+					float64(bytes)/1e6)
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/mdz/mdz/internal/codec"
+	"github.com/mdz/mdz/internal/core"
+	"github.com/mdz/mdz/internal/dataset"
+	"github.com/mdz/mdz/internal/quant"
+)
+
+func init() {
+	register("fig9", "compressor throughput vs quantization scale (Helium-B)", runFig9)
+	register("tab3", "Seq-1 vs Seq-2 compression ratios (Helium-B, MT)", runTab3)
+}
+
+// runFig9 sweeps the quantization scale from 64 to 65536 on Helium-B and
+// reports compression/decompression throughput plus CR for VQ, VQT, MT.
+// The paper's Fig 9 shows throughput degrading with larger scales (bigger
+// Huffman trees) while 1024 retains full compression ratio.
+func runFig9(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID: "fig9", Title: Title("fig9"),
+		Columns: []string{"scale", "method", "compMBps", "decompMBps", "CR"},
+		Notes: []string{
+			"paper Fig 9: throughput decreases as scale grows 64 -> 65536; scale 1024 is the knee",
+			"value-range eps = 1E-3, BS = 10",
+		},
+	}
+	d, err := load("Helium-B", cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, scale := range []int{64, 256, 1024, 4096, 16384, 65536} {
+		for _, m := range []core.Method{core.VQ, core.VQT, core.MT} {
+			f := codec.MDZFactory{Method: m, QuantScale: scale}
+			res, err := RunCodec(d, f, RunOptions{Epsilon: 1e-3, BufferSize: 10})
+			if err != nil {
+				return nil, err
+			}
+			rep.AddRow(scale, m.String(), res.EncodeMBps, res.DecodeMBps, res.CR)
+		}
+	}
+	return rep, nil
+}
+
+// runTab3 reproduces Table III: Seq-1 vs Seq-2 compression ratios on
+// Helium-B with the MT method, BS=10, per axis and ε ∈ {1E-1, 5E-2, 1E-2}.
+func runTab3(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID: "tab3", Title: Title("tab3"),
+		Columns: []string{"axis", "eps", "Seq-1 CR", "Seq-2 CR", "gain%"},
+		Notes: []string{
+			"paper Table III: Seq-2 improves CR by ~38% on Helium-B at eps=1E-1",
+		},
+	}
+	d, err := load("Helium-B", cfg)
+	if err != nil {
+		return nil, err
+	}
+	for ai, axis := range dataset.Axes {
+		for _, eps := range []float64{1e-1, 5e-2, 1e-2} {
+			var crs [2]float64
+			for si, seq := range []core.Sequence{core.Seq1, core.Seq2} {
+				f := codec.MDZFactory{Method: core.MT, Sequence: seq,
+					Label: fmt.Sprintf("MDZ-MT-%s", seq)}
+				res, err := RunCodec(d, f, RunOptions{Epsilon: eps, BufferSize: 10})
+				if err != nil {
+					return nil, err
+				}
+				crs[si] = res.PerAxisCR[ai]
+			}
+			gain := 0.0
+			if crs[0] > 0 {
+				gain = (crs[1]/crs[0] - 1) * 100
+			}
+			rep.AddRow(axis.String(), fmt.Sprintf("%.0e", eps), crs[0], crs[1], gain)
+		}
+	}
+	_ = quant.DefaultScale
+	return rep, nil
+}

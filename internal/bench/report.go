@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is a formatted experiment result: a titled table plus free-form
+// notes explaining how it maps to the paper.
+type Report struct {
+	// ID and Title identify the experiment.
+	ID, Title string
+	// Columns and Rows hold the table body.
+	Columns []string
+	Rows    [][]string
+	// Notes carries interpretation guidance (expected shape vs the paper).
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (r *Report) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v != v:
+		return "NaN"
+	case v >= 1e5 || v < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// WriteTo renders the report as an aligned text table.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", pad))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(r.Columns)
+	total := 0
+	for _, w2 := range widths {
+		total += w2 + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteString("\n")
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// CSV renders the table as comma-separated values.
+func (r *Report) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Columns, ","))
+	sb.WriteString("\n")
+	for _, row := range r.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

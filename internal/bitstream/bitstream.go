@@ -1,0 +1,375 @@
+// Package bitstream provides low-level bit- and byte-oriented encoding
+// primitives shared by every codec in this repository: an MSB-first bit
+// writer/reader, unsigned varints, and zigzag transforms for signed
+// integers.
+//
+// All codecs in this module serialize multi-byte scalars little-endian and
+// bits MSB-first within a byte, so streams are portable across platforms.
+package bitstream
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrShortStream is returned when a reader runs out of input mid-value.
+var ErrShortStream = errors.New("bitstream: unexpected end of stream")
+
+// Writer accumulates bits MSB-first into an in-memory buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, left-aligned within nbit
+	nbit uint   // number of pending bits in cur (< 8 after flushes)
+}
+
+// NewWriter returns a Writer with capacity preallocated for n bytes.
+func NewWriter(n int) *Writer {
+	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(b uint) {
+	w.WriteBits(uint64(b&1), 1)
+}
+
+// WriteBits appends the low n bits of v, MSB first. n must be <= 64.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	for n > 0 {
+		take := 8 - w.nbit
+		if take > n {
+			take = n
+		}
+		// Bits of v from position n-1 down to n-take.
+		chunk := (v >> (n - take)) & ((1 << take) - 1)
+		w.cur = (w.cur << take) | chunk
+		w.nbit += take
+		n -= take
+		if w.nbit == 8 {
+			w.buf = append(w.buf, byte(w.cur))
+			w.cur, w.nbit = 0, 0
+		}
+	}
+}
+
+// WriteUnary appends v as a unary code: v one-bits followed by a zero bit.
+func (w *Writer) WriteUnary(v uint64) {
+	for v >= 32 {
+		w.WriteBits(math.MaxUint32, 32)
+		v -= 32
+	}
+	if v > 0 {
+		w.WriteBits((1<<v)-1, uint(v))
+	}
+	w.WriteBit(0)
+}
+
+// Align pads the stream with zero bits up to the next byte boundary.
+func (w *Writer) Align() {
+	if w.nbit > 0 {
+		w.cur <<= 8 - w.nbit
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.nbit = 0, 0
+	}
+}
+
+// Bytes flushes any partial byte (zero padded) and returns the encoded
+// buffer. The Writer remains usable; subsequent writes start byte-aligned.
+func (w *Writer) Bytes() []byte {
+	w.Align()
+	return w.buf
+}
+
+// BitLen reports the total number of bits written so far.
+func (w *Writer) BitLen() int {
+	return len(w.buf)*8 + int(w.nbit)
+}
+
+// Reset truncates the writer for reuse.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nbit = 0, 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int  // next byte index
+	cur  byte // current byte being consumed
+	nbit uint // bits remaining in cur
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// ReadBits reads n bits (n <= 64) MSB-first and returns them right-aligned.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for n > 0 {
+		if r.nbit == 0 {
+			if r.pos >= len(r.buf) {
+				return 0, ErrShortStream
+			}
+			r.cur = r.buf[r.pos]
+			r.pos++
+			r.nbit = 8
+		}
+		take := r.nbit
+		if take > n {
+			take = n
+		}
+		chunk := uint64(r.cur >> (r.nbit - take))
+		chunk &= (1 << take) - 1
+		v = (v << take) | chunk
+		r.nbit -= take
+		n -= take
+	}
+	return v, nil
+}
+
+// Peek returns the next n bits (n <= 32) without consuming them, MSB-first
+// and right-aligned, zero-padded past the end of the stream. avail reports
+// how many of the returned bits actually exist.
+func (r *Reader) Peek(n uint) (bits uint64, avail uint) {
+	availBits := uint(len(r.buf)-r.pos)*8 + r.nbit
+	take := n
+	if take > availBits {
+		take = availBits
+	}
+	// Gather up to n bits starting at the current position.
+	var v uint64
+	got := uint(0)
+	// Bits left in the current partial byte.
+	if r.nbit > 0 {
+		cur := uint64(r.cur) & ((1 << r.nbit) - 1)
+		if r.nbit >= take {
+			v = cur >> (r.nbit - take)
+			got = take
+		} else {
+			v = cur
+			got = r.nbit
+		}
+	}
+	pos := r.pos
+	for got < take {
+		b := uint64(r.buf[pos])
+		pos++
+		need := take - got
+		if need >= 8 {
+			v = (v << 8) | b
+			got += 8
+		} else {
+			v = (v << need) | (b >> (8 - need))
+			got += need
+		}
+	}
+	return v << (n - got), take
+}
+
+// Skip consumes n bits previously examined with Peek. It returns
+// ErrShortStream if fewer than n bits remain.
+func (r *Reader) Skip(n uint) error {
+	_, err := r.ReadBits(n)
+	return err
+}
+
+// ReadUnary reads a unary code written by WriteUnary.
+func (r *Reader) ReadUnary() (uint64, error) {
+	var v uint64
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// Align discards bits up to the next byte boundary.
+func (r *Reader) Align() {
+	r.nbit = 0
+}
+
+// Remaining reports the number of unread whole bytes (after alignment).
+func (r *Reader) Remaining() int {
+	return len(r.buf) - r.pos
+}
+
+// ZigZag maps a signed integer to an unsigned one so small-magnitude values
+// (of either sign) become small codes: 0→0, -1→1, 1→2, -2→3, ...
+func ZigZag(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// AppendUvarint appends v in LEB128 variable-length encoding.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendVarint appends v zigzag-encoded as a uvarint.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, ZigZag(v))
+}
+
+// Uvarint decodes a uvarint from buf, returning the value and the number of
+// bytes consumed. A zero count signals a malformed/short buffer.
+func Uvarint(buf []byte) (uint64, int) {
+	return binary.Uvarint(buf)
+}
+
+// Varint decodes a zigzag-encoded signed varint.
+func Varint(buf []byte) (int64, int) {
+	u, n := binary.Uvarint(buf)
+	return UnZigZag(u), n
+}
+
+// AppendUint64 appends v little-endian.
+func AppendUint64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// AppendUint32 appends v little-endian.
+func AppendUint32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// AppendFloat64 appends the IEEE-754 bits of f little-endian.
+func AppendFloat64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// Uint64At reads a little-endian uint64 at offset off.
+func Uint64At(buf []byte, off int) (uint64, error) {
+	if off+8 > len(buf) {
+		return 0, ErrShortStream
+	}
+	return binary.LittleEndian.Uint64(buf[off:]), nil
+}
+
+// Float64At reads a little-endian float64 at offset off.
+func Float64At(buf []byte, off int) (float64, error) {
+	u, err := Uint64At(buf, off)
+	return math.Float64frombits(u), err
+}
+
+// ByteReader is a cursor over a byte slice for length-prefixed section
+// decoding. All Read* methods return ErrShortStream past the end.
+type ByteReader struct {
+	buf []byte
+	off int
+}
+
+// NewByteReader returns a cursor positioned at the start of buf.
+func NewByteReader(buf []byte) *ByteReader {
+	return &ByteReader{buf: buf}
+}
+
+// Len reports unread bytes.
+func (b *ByteReader) Len() int { return len(b.buf) - b.off }
+
+// Offset reports the current cursor position.
+func (b *ByteReader) Offset() int { return b.off }
+
+// ReadByte consumes one byte.
+func (b *ByteReader) ReadByte() (byte, error) {
+	if b.off >= len(b.buf) {
+		return 0, ErrShortStream
+	}
+	v := b.buf[b.off]
+	b.off++
+	return v, nil
+}
+
+// ReadUint32 consumes a little-endian uint32.
+func (b *ByteReader) ReadUint32() (uint32, error) {
+	if b.off+4 > len(b.buf) {
+		return 0, ErrShortStream
+	}
+	v := binary.LittleEndian.Uint32(b.buf[b.off:])
+	b.off += 4
+	return v, nil
+}
+
+// ReadUint64 consumes a little-endian uint64.
+func (b *ByteReader) ReadUint64() (uint64, error) {
+	if b.off+8 > len(b.buf) {
+		return 0, ErrShortStream
+	}
+	v := binary.LittleEndian.Uint64(b.buf[b.off:])
+	b.off += 8
+	return v, nil
+}
+
+// ReadFloat64 consumes a little-endian IEEE-754 float64.
+func (b *ByteReader) ReadFloat64() (float64, error) {
+	u, err := b.ReadUint64()
+	return math.Float64frombits(u), err
+}
+
+// ReadUvarint consumes a LEB128 varint.
+func (b *ByteReader) ReadUvarint() (uint64, error) {
+	v, n := binary.Uvarint(b.buf[b.off:])
+	if n <= 0 {
+		return 0, ErrShortStream
+	}
+	b.off += n
+	return v, nil
+}
+
+// ReadVarint consumes a zigzag-encoded signed varint.
+func (b *ByteReader) ReadVarint() (int64, error) {
+	u, err := b.ReadUvarint()
+	return UnZigZag(u), err
+}
+
+// ReadBytes consumes exactly n bytes and returns them as a subslice of the
+// underlying buffer (no copy).
+func (b *ByteReader) ReadBytes(n int) ([]byte, error) {
+	if n < 0 || b.off+n > len(b.buf) {
+		return nil, ErrShortStream
+	}
+	v := b.buf[b.off : b.off+n]
+	b.off += n
+	return v, nil
+}
+
+// ReadSection consumes a uvarint length prefix followed by that many bytes.
+func (b *ByteReader) ReadSection() ([]byte, error) {
+	n, err := b.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(b.Len()) {
+		return nil, ErrShortStream
+	}
+	return b.ReadBytes(int(n))
+}
+
+// AppendSection appends a uvarint length prefix followed by payload.
+func AppendSection(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}

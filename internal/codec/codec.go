@@ -1,0 +1,140 @@
+// Package codec defines the common interfaces the benchmark harness uses to
+// drive MDZ and every baseline compressor uniformly, plus adapters between
+// the stateless per-batch baselines and MDZ's stateful stream model.
+package codec
+
+import (
+	"github.com/mdz/mdz/internal/asn"
+	"github.com/mdz/mdz/internal/core"
+	"github.com/mdz/mdz/internal/hrtc"
+	"github.com/mdz/mdz/internal/lfzip"
+	"github.com/mdz/mdz/internal/mdb"
+	"github.com/mdz/mdz/internal/sz2"
+	"github.com/mdz/mdz/internal/tng"
+)
+
+// BatchCodec is a stateless per-batch compressor for one axis series: every
+// block is independently decodable. All reimplemented baselines satisfy it.
+type BatchCodec interface {
+	// Name identifies the codec in reports.
+	Name() string
+	// CompressSeries compresses a batch (snapshots × particles) under an
+	// absolute error bound.
+	CompressSeries(batch [][]float64, eb float64) ([]byte, error)
+	// DecompressSeries inverts CompressSeries.
+	DecompressSeries(blk []byte) ([][]float64, error)
+}
+
+// Stream is a stateful per-axis compression session: batches must be
+// encoded and decoded in order.
+type Stream interface {
+	Encode(batch [][]float64) ([]byte, error)
+	Decode(blk []byte) ([][]float64, error)
+}
+
+// Factory creates fresh compression sessions. The benchmark harness makes
+// one Stream per (dataset, axis) run.
+type Factory interface {
+	Name() string
+	New(eb float64) (Stream, error)
+}
+
+// batchFactory adapts a stateless BatchCodec to the Factory interface.
+type batchFactory struct {
+	c BatchCodec
+}
+
+// FromBatch wraps a stateless per-batch codec as a Factory.
+func FromBatch(c BatchCodec) Factory { return batchFactory{c} }
+
+// Name implements Factory.
+func (f batchFactory) Name() string { return f.c.Name() }
+
+// New implements Factory.
+func (f batchFactory) New(eb float64) (Stream, error) {
+	return &batchStream{c: f.c, eb: eb}, nil
+}
+
+type batchStream struct {
+	c  BatchCodec
+	eb float64
+}
+
+func (s *batchStream) Encode(batch [][]float64) ([]byte, error) {
+	return s.c.CompressSeries(batch, s.eb)
+}
+
+func (s *batchStream) Decode(blk []byte) ([][]float64, error) {
+	return s.c.DecompressSeries(blk)
+}
+
+// MDZFactory creates MDZ streams with the given method (core.ADP by
+// default) and optional parameter overrides.
+type MDZFactory struct {
+	// Method selects ADP/VQ/VQT/MT.
+	Method core.Method
+	// QuantScale, Sequence and AdaptInterval override core defaults when
+	// non-zero.
+	QuantScale    int
+	Sequence      core.Sequence
+	AdaptInterval int
+	// Label overrides the reported name.
+	Label string
+}
+
+// Name implements Factory.
+func (f MDZFactory) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	if f.Method == core.ADP {
+		return "MDZ"
+	}
+	return "MDZ-" + f.Method.String()
+}
+
+// New implements Factory.
+func (f MDZFactory) New(eb float64) (Stream, error) {
+	enc, err := core.NewEncoder(core.Params{
+		ErrorBound:    eb,
+		Method:        f.Method,
+		QuantScale:    f.QuantScale,
+		Sequence:      f.Sequence,
+		AdaptInterval: f.AdaptInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &mdzStream{enc: enc, dec: core.NewDecoder(core.Params{})}, nil
+}
+
+type mdzStream struct {
+	enc *core.Encoder
+	dec *core.Decoder
+}
+
+func (s *mdzStream) Encode(batch [][]float64) ([]byte, error) {
+	return s.enc.EncodeBatch(batch)
+}
+
+func (s *mdzStream) Decode(blk []byte) ([][]float64, error) {
+	return s.dec.DecodeBatch(blk)
+}
+
+// Baselines returns the paper's six lossy comparison codecs (§VII-A4) as
+// factories, in the paper's order: TNG, HRTC, ASN, SZ2(2D), MDB, LFZip.
+func Baselines() []Factory {
+	return []Factory{
+		FromBatch(&tng.Compressor{}),
+		FromBatch(&hrtc.Compressor{}),
+		FromBatch(&asn.Compressor{}),
+		FromBatch(&sz2.Compressor{}),
+		FromBatch(&mdb.Compressor{}),
+		FromBatch(&lfzip.Compressor{}),
+	}
+}
+
+// AllLossy returns MDZ (ADP) followed by the six baselines.
+func AllLossy() []Factory {
+	return append([]Factory{MDZFactory{}}, Baselines()...)
+}

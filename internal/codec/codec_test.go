@@ -1,0 +1,47 @@
+package codec_test
+
+import (
+	"testing"
+
+	"github.com/mdz/mdz/internal/codec"
+	"github.com/mdz/mdz/internal/codec/codectest"
+	"github.com/mdz/mdz/internal/core"
+)
+
+func TestMDZFactoryConformanceAllMethods(t *testing.T) {
+	for _, m := range []core.Method{core.ADP, core.VQ, core.VQT, core.MT} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			t.Parallel()
+			codectest.RunConformance(t, codec.MDZFactory{Method: m})
+		})
+	}
+}
+
+func TestFactoryNames(t *testing.T) {
+	if (codec.MDZFactory{}).Name() != "MDZ" {
+		t.Error("default MDZ name")
+	}
+	if (codec.MDZFactory{Method: core.MT}).Name() != "MDZ-MT" {
+		t.Error("method-specific name")
+	}
+	if (codec.MDZFactory{Label: "custom"}).Name() != "custom" {
+		t.Error("label override")
+	}
+}
+
+func TestBaselineRoster(t *testing.T) {
+	names := map[string]bool{}
+	for _, f := range codec.Baselines() {
+		names[f.Name()] = true
+	}
+	for _, want := range []string{"TNG", "HRTC", "ASN", "SZ2-2D", "MDB", "LFZip"} {
+		if !names[want] {
+			t.Errorf("baseline %s missing from roster %v", want, names)
+		}
+	}
+	all := codec.AllLossy()
+	if all[0].Name() != "MDZ" || len(all) != 7 {
+		t.Errorf("AllLossy roster: %d entries, first %s", len(all), all[0].Name())
+	}
+}

@@ -1,0 +1,141 @@
+// Package codectest provides a conformance suite shared by every lossy
+// compressor in this module: round-trip shape preservation and — the
+// load-bearing invariant of the whole paper — the absolute error bound on
+// every reconstructed value, across data regimes and bounds.
+package codectest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/mdz/mdz/internal/codec"
+)
+
+// Regimes returns named synthetic batch series covering the data regimes of
+// the paper's characterization study (Fig 3-5).
+func Regimes(bs, n int, seed int64) map[string][][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := map[string][][]float64{}
+
+	// Crystalline: equal-distant levels with vibration and rare hops.
+	levels := make([]int, n)
+	for i := range levels {
+		levels[i] = rng.Intn(10)
+	}
+	crystal := make([][]float64, bs)
+	for t := range crystal {
+		snap := make([]float64, n)
+		for i := range snap {
+			if rng.Float64() < 0.02 {
+				levels[i] += rng.Intn(3) - 1
+			}
+			snap[i] = 2.0*float64(levels[i]) + rng.NormFloat64()*0.03
+		}
+		crystal[t] = snap
+	}
+	out["crystal"] = crystal
+
+	// Liquid: spatially uniform, temporally smooth drift.
+	pos := make([]float64, n)
+	for i := range pos {
+		pos[i] = rng.Float64() * 30
+	}
+	liquid := make([][]float64, bs)
+	for t := range liquid {
+		snap := make([]float64, n)
+		for i := range snap {
+			pos[i] += rng.NormFloat64() * 0.003
+			snap[i] = pos[i]
+		}
+		liquid[t] = snap
+	}
+	out["liquid"] = liquid
+
+	// Erratic: fully random every snapshot (worst case).
+	erratic := make([][]float64, bs)
+	for t := range erratic {
+		snap := make([]float64, n)
+		for i := range snap {
+			snap[i] = rng.NormFloat64() * 100
+		}
+		erratic[t] = snap
+	}
+	out["erratic"] = erratic
+
+	// Extremes: huge magnitudes, zeros and sign flips.
+	extreme := make([][]float64, bs)
+	for t := range extreme {
+		snap := make([]float64, n)
+		for i := range snap {
+			switch i % 4 {
+			case 0:
+				snap[i] = 0
+			case 1:
+				snap[i] = rng.NormFloat64() * 1e12
+			case 2:
+				snap[i] = -math.Pi * float64(t+1)
+			default:
+				snap[i] = rng.NormFloat64() * 1e-12
+			}
+		}
+		extreme[t] = snap
+	}
+	out["extreme"] = extreme
+
+	return out
+}
+
+// RunConformance exercises a Factory across regimes and error bounds,
+// asserting the error-bound invariant and shape preservation.
+func RunConformance(t *testing.T, f codec.Factory) {
+	t.Helper()
+	for name, series := range Regimes(12, 150, 99) {
+		for _, eb := range []float64{1e-1, 1e-3, 1e-6} {
+			stream, err := f.New(eb)
+			if err != nil {
+				t.Fatalf("%s/%s eb=%v: New: %v", f.Name(), name, eb, err)
+			}
+			// Two sequential batches exercise cross-batch state.
+			for _, batch := range [][][]float64{series[:6], series[6:]} {
+				blk, err := stream.Encode(batch)
+				if err != nil {
+					t.Fatalf("%s/%s eb=%v: encode: %v", f.Name(), name, eb, err)
+				}
+				got, err := stream.Decode(blk)
+				if err != nil {
+					t.Fatalf("%s/%s eb=%v: decode: %v", f.Name(), name, eb, err)
+				}
+				if len(got) != len(batch) {
+					t.Fatalf("%s/%s: got %d snapshots, want %d", f.Name(), name, len(got), len(batch))
+				}
+				for ti := range batch {
+					if len(got[ti]) != len(batch[ti]) {
+						t.Fatalf("%s/%s: snapshot %d has %d values, want %d",
+							f.Name(), name, ti, len(got[ti]), len(batch[ti]))
+					}
+					for i := range batch[ti] {
+						if e := math.Abs(batch[ti][i] - got[ti][i]); e > eb {
+							t.Fatalf("%s/%s eb=%v: snapshot %d particle %d: error %v exceeds bound (orig %v recon %v)",
+								f.Name(), name, eb, ti, i, e, batch[ti][i], got[ti][i])
+						}
+					}
+				}
+			}
+		}
+	}
+	// Degenerate shapes.
+	stream, err := f.New(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := [][]float64{{1.5, -2.5, 0}}
+	blk, err := stream.Encode(single)
+	if err != nil {
+		t.Fatalf("%s: single snapshot: %v", f.Name(), err)
+	}
+	got, err := stream.Decode(blk)
+	if err != nil || len(got) != 1 || len(got[0]) != 3 {
+		t.Fatalf("%s: single snapshot round trip: %v %v", f.Name(), got, err)
+	}
+}

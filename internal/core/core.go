@@ -1,0 +1,682 @@
+// Package core implements MDZ, the adaptive error-bounded lossy compressor
+// for molecular-dynamics trajectories (paper §VI). It provides the three
+// MD-specific compression methods — VQ (vector-quantization, spatial), VQT
+// (VQ + time prediction) and MT (multi-level time prediction) — plus the
+// adaptive selector ADP that re-evaluates the best method every
+// AdaptInterval batches.
+//
+// The compressor is stateful across batches, mirroring the paper's buffered
+// execution model: k-means level parameters (λ, μ) are computed once from a
+// sample of the first snapshot, and the reconstructed initial snapshot is
+// retained as the MT reference. Encoder and Decoder must therefore process
+// batches in the same order; every block is otherwise self-describing.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/mdz/mdz/internal/bitstream"
+	"github.com/mdz/mdz/internal/huffman"
+	"github.com/mdz/mdz/internal/kmeans"
+	"github.com/mdz/mdz/internal/lossless"
+	"github.com/mdz/mdz/internal/predictor"
+	"github.com/mdz/mdz/internal/quant"
+)
+
+// Method selects the MDZ compression method.
+type Method uint8
+
+// Compression methods. ADP is the paper's default: it dynamically selects
+// among VQ, VQT and MT at runtime.
+const (
+	ADP Method = iota
+	VQ
+	VQT
+	MT
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case ADP:
+		return "ADP"
+	case VQ:
+		return "VQ"
+	case VQT:
+		return "VQT"
+	case MT:
+		return "MT"
+	}
+	return fmt.Sprintf("Method(%d)", uint8(m))
+}
+
+// Sequence selects the quantization-code interleaving (paper §VI-C2).
+type Sequence uint8
+
+// Quantization sequences. Seq2 stores one particle's codes across all
+// snapshots of a buffer contiguously (particle-major) and is the paper's
+// choice; Seq1 stores snapshot-major.
+const (
+	Seq2 Sequence = iota
+	Seq1
+)
+
+// String implements fmt.Stringer.
+func (s Sequence) String() string {
+	if s == Seq1 {
+		return "Seq-1"
+	}
+	return "Seq-2"
+}
+
+// DefaultAdaptInterval is the paper's ADP re-evaluation period, in
+// compression operations (batches).
+const DefaultAdaptInterval = 50
+
+// Params configures an Encoder. The zero value is not usable; use
+// NewEncoder which applies defaults.
+type Params struct {
+	// ErrorBound is the absolute error bound (must be positive). Callers
+	// using the paper's value-range-based ε should convert with
+	// quant.AbsBound first.
+	ErrorBound float64
+	// QuantScale is the linear-scale quantization range (default 1024).
+	QuantScale int
+	// Method selects VQ, VQT, MT, or adaptive ADP (default ADP).
+	Method Method
+	// Sequence selects the quantization interleaving (default Seq2).
+	Sequence Sequence
+	// AdaptInterval is the ADP re-evaluation period in batches (default 50).
+	AdaptInterval int
+	// Backend is the final lossless stage (default lossless.LZ).
+	Backend lossless.Backend
+	// KMeans tunes the sampled 1-D clustering for the VQ level model.
+	KMeans kmeans.Options
+}
+
+func (p *Params) fill() error {
+	if !(p.ErrorBound > 0) {
+		return fmt.Errorf("core: ErrorBound must be positive, got %v", p.ErrorBound)
+	}
+	if p.QuantScale == 0 {
+		p.QuantScale = quant.DefaultScale
+	}
+	if p.QuantScale < 4 {
+		return fmt.Errorf("core: QuantScale must be >= 4, got %d", p.QuantScale)
+	}
+	if p.AdaptInterval <= 0 {
+		p.AdaptInterval = DefaultAdaptInterval
+	}
+	if p.Backend == nil {
+		p.Backend = lossless.LZ{}
+	}
+	return nil
+}
+
+// Block format constants.
+const (
+	blockMagic   = "MDZB"
+	formatVer    = 1
+	firstLorenzo = 0 // first snapshot of batch: spatial Lorenzo (no ref yet)
+	firstRef     = 1 // first snapshot of batch: snapshot-0 reference
+	firstVQ      = 2 // first snapshot of batch: VQ level prediction
+)
+
+// ErrCorrupt is returned for malformed blocks.
+var ErrCorrupt = errors.New("core: corrupt MDZ block")
+
+// ErrOrder is returned when a Decoder receives blocks out of order.
+var ErrOrder = errors.New("core: MT block requires the preceding blocks to be decoded first")
+
+// Encoder compresses one axis of a trajectory, batch by batch.
+type Encoder struct {
+	p     Params
+	q     *quant.Quantizer
+	km    *kmeans.Result
+	ref   []float64 // reconstructed snapshot 0 of the run (set after batch 0)
+	cur   Method    // concrete method in use (ADP resolves to one of the three)
+	batch int       // batches encoded so far
+	// Stats accumulates encoder-side statistics for benchmarks.
+	Stats Stats
+}
+
+// Stats records encoder activity, exported for the benchmark harness.
+type Stats struct {
+	// Batches counts encoded batches; Evaluations counts ADP trials.
+	Batches, Evaluations int
+	// MethodBatches counts batches emitted per concrete method.
+	MethodBatches [4]int
+	// RawBytes and CompressedBytes accumulate totals.
+	RawBytes, CompressedBytes int64
+}
+
+// NewEncoder returns an Encoder for one axis with the given parameters.
+func NewEncoder(p Params) (*Encoder, error) {
+	if err := p.fill(); err != nil {
+		return nil, err
+	}
+	q, err := quant.New(p.ErrorBound, p.QuantScale)
+	if err != nil {
+		return nil, err
+	}
+	cur := p.Method
+	if cur == ADP {
+		cur = VQT // provisional; first batch evaluation overrides
+	}
+	return &Encoder{p: p, q: q, cur: cur}, nil
+}
+
+// Method reports the concrete method currently selected (useful under ADP).
+func (e *Encoder) Method() Method { return e.cur }
+
+// EncodeBatch compresses a buffer of snapshots (each []float64 of equal
+// length) into a self-describing block. Snapshots are consumed in
+// simulation order; the batch must not be empty.
+func (e *Encoder) EncodeBatch(batch [][]float64) ([]byte, error) {
+	if len(batch) == 0 {
+		return nil, errors.New("core: empty batch")
+	}
+	n := len(batch[0])
+	for i, s := range batch {
+		if len(s) != n {
+			return nil, fmt.Errorf("core: snapshot %d has %d values, want %d", i, len(s), n)
+		}
+	}
+	if e.km == nil {
+		if err := e.initLevels(batch[0]); err != nil {
+			return nil, err
+		}
+	}
+
+	// ADP re-evaluates every AdaptInterval batches. Batch 1 is also always
+	// evaluated: batch 0 has no MT reference yet, so its winner can be
+	// unrepresentative of steady-state behaviour.
+	adapt := e.p.Method == ADP && (e.batch <= 1 || e.batch%e.p.AdaptInterval == 0)
+	var out []byte
+	var recon0 []float64
+	if adapt {
+		e.Stats.Evaluations++
+		bestLen := math.MaxInt
+		for _, m := range []Method{VQ, VQT, MT} {
+			blk, r0, err := e.encodeWith(m, batch)
+			if err != nil {
+				return nil, err
+			}
+			if len(blk) < bestLen {
+				bestLen = len(blk)
+				out, recon0, e.cur = blk, r0, m
+			}
+		}
+	} else {
+		m := e.cur
+		if e.p.Method != ADP {
+			m = e.p.Method
+		}
+		var err error
+		out, recon0, err = e.encodeWith(m, batch)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if e.ref == nil {
+		e.ref = recon0
+	}
+	e.batch++
+	e.Stats.Batches++
+	e.Stats.MethodBatches[e.cur]++
+	e.Stats.RawBytes += int64(len(batch) * n * 8)
+	e.Stats.CompressedBytes += int64(len(out))
+	return out, nil
+}
+
+// initLevels runs the sampled optimal k-means once per encoder lifetime.
+func (e *Encoder) initLevels(snapshot0 []float64) error {
+	res, err := kmeans.Cluster1D(snapshot0, e.p.KMeans)
+	if err != nil {
+		// No finite data to cluster: fall back to a unit level model; the
+		// outlier path keeps correctness.
+		res = kmeans.Result{K: 1, LevelDistance: 1, LevelOrigin: 0}
+	}
+	if !(res.LevelDistance > 0) || math.IsInf(res.LevelDistance, 0) || math.IsNaN(res.LevelOrigin) {
+		res.LevelDistance, res.LevelOrigin = 1, 0
+	}
+	e.km = &res
+	return nil
+}
+
+// encodeWith compresses batch with concrete method m without mutating
+// encoder state; it returns the block and the reconstruction of the batch's
+// first snapshot (the MT reference candidate for batch 0).
+func (e *Encoder) encodeWith(m Method, batch [][]float64) (blk []byte, recon0 []float64, err error) {
+	bs, n := len(batch), len(batch[0])
+	bins := make([]int, 0, bs*n) // snapshot-major during prediction
+	var levels []int             // J stream: level-index deltas (VQ-coded snapshots)
+	var outliers []byte          // exact values in snapshot-major traversal order
+
+	prevRecon := make([]float64, n) // reconstructed previous snapshot
+	curRecon := make([]float64, n)
+	firstPred := byte(firstVQ)
+
+	for t, snap := range batch {
+		vqSnapshot := m == VQ || (m == VQT && t == 0)
+		switch {
+		case vqSnapshot:
+			if t == 0 {
+				firstPred = firstVQ
+			}
+			lam, mu := e.km.LevelDistance, e.km.LevelOrigin
+			prevLevel := int64(0)
+			for i, d := range snap {
+				lvl, centroid := predictor.Level(d, lam, mu)
+				code, recon, ok := e.q.Quantize(d, centroid)
+				if !ok {
+					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
+					recon = quant.BoundedRecon(d, e.p.ErrorBound)
+					code = quant.Reserved
+				}
+				bins = append(bins, code)
+				levels = append(levels, int(lvl-prevLevel))
+				prevLevel = lvl
+				curRecon[i] = recon
+			}
+		case t == 0 && m == MT:
+			if e.ref != nil {
+				firstPred = firstRef
+				for i, d := range snap {
+					code, recon, ok := e.q.Quantize(d, e.ref[i])
+					if !ok {
+						outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
+						recon = quant.BoundedRecon(d, e.p.ErrorBound)
+						code = quant.Reserved
+					}
+					bins = append(bins, code)
+					curRecon[i] = recon
+				}
+			} else {
+				// Very first batch of the run: no reference exists yet, so
+				// the initial snapshot is coded with spatial Lorenzo.
+				firstPred = firstLorenzo
+				prev := 0.0
+				for i, d := range snap {
+					code, recon, ok := e.q.Quantize(d, prev)
+					if !ok {
+						outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
+						recon = quant.BoundedRecon(d, e.p.ErrorBound)
+						code = quant.Reserved
+					}
+					bins = append(bins, code)
+					curRecon[i] = recon
+					prev = recon
+				}
+			}
+		default: // time-based prediction from the previous snapshot
+			for i, d := range snap {
+				code, recon, ok := e.q.Quantize(d, prevRecon[i])
+				if !ok {
+					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
+					recon = quant.BoundedRecon(d, e.p.ErrorBound)
+					code = quant.Reserved
+				}
+				bins = append(bins, code)
+				curRecon[i] = recon
+			}
+		}
+		prevRecon, curRecon = curRecon, prevRecon
+		if t == 0 {
+			recon0 = append([]float64(nil), prevRecon...)
+		}
+	}
+
+	if e.p.Sequence == Seq2 {
+		bins = interleave(bins, bs, n)
+	}
+
+	// Assemble payload sections, then run the lossless backend.
+	var payload []byte
+	payload, err = huffman.EncodeInts(payload, bins)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err = huffman.EncodeInts(payload, levels)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload = bitstream.AppendSection(payload, outliers)
+	compressed, err := e.p.Backend.Compress(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Header.
+	blk = append(blk, blockMagic...)
+	blk = append(blk, formatVer, byte(m), byte(e.p.Sequence), firstPred)
+	blk = bitstream.AppendFloat64(blk, e.p.ErrorBound)
+	blk = bitstream.AppendUvarint(blk, uint64(e.p.QuantScale))
+	blk = bitstream.AppendUvarint(blk, uint64(bs))
+	blk = bitstream.AppendUvarint(blk, uint64(n))
+	blk = bitstream.AppendFloat64(blk, e.km.LevelDistance)
+	blk = bitstream.AppendFloat64(blk, e.km.LevelOrigin)
+	blk = bitstream.AppendSection(blk, compressed)
+	return blk, recon0, nil
+}
+
+// interleave reorders a snapshot-major bs×n code matrix to particle-major
+// (Seq-2).
+func interleave(bins []int, bs, n int) []int {
+	out := make([]int, len(bins))
+	idx := 0
+	for i := 0; i < n; i++ {
+		for t := 0; t < bs; t++ {
+			out[idx] = bins[t*n+i]
+			idx++
+		}
+	}
+	return out
+}
+
+// deinterleave inverts interleave.
+func deinterleave(bins []int, bs, n int) []int {
+	out := make([]int, len(bins))
+	idx := 0
+	for i := 0; i < n; i++ {
+		for t := 0; t < bs; t++ {
+			out[t*n+i] = bins[idx]
+			idx++
+		}
+	}
+	return out
+}
+
+// Decoder decompresses blocks produced by an Encoder. Blocks must be fed in
+// encode order (the MT reference is carried across batches).
+type Decoder struct {
+	p   Params
+	ref []float64
+}
+
+// NewDecoder returns a Decoder. Only Backend is consulted from p (other
+// parameters are read from block headers); a zero Params selects defaults.
+func NewDecoder(p Params) *Decoder {
+	if p.Backend == nil {
+		p.Backend = lossless.LZ{}
+	}
+	return &Decoder{p: p}
+}
+
+// DecodeBatch reconstructs the snapshots of one block.
+func (d *Decoder) DecodeBatch(blk []byte) ([][]float64, error) {
+	h, err := parseHeader(blk)
+	if err != nil {
+		return nil, err
+	}
+	m, seq, firstPred := h.method, h.seq, h.firstPred
+	eb, bs, n, lam, mu := h.eb, h.bs, h.n, h.lam, h.mu
+	q, err := quant.New(eb, h.scale)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	bins, levels, outliers, err := d.sections(h)
+	if err != nil {
+		return nil, err
+	}
+	if seq == Seq2 {
+		bins = deinterleave(bins, bs, n)
+	}
+	if m == MT && firstPred == firstRef {
+		if d.ref == nil || len(d.ref) != n {
+			return nil, ErrOrder
+		}
+	}
+
+	out := make([][]float64, bs)
+	opos := 0
+	levelPos := 0
+	nextOutlier := func() (float64, error) {
+		v, n, err := quant.ReadBounded(outliers[opos:], eb)
+		opos += n
+		return v, err
+	}
+	prevRecon := make([]float64, n)
+	for t := 0; t < bs; t++ {
+		snap := make([]float64, n)
+		row := bins[t*n : (t+1)*n]
+		vqSnapshot := m == VQ || (m == VQT && t == 0) ||
+			(m == MT && t == 0 && firstPred == firstVQ)
+		switch {
+		case vqSnapshot:
+			prevLevel := int64(0)
+			for i := 0; i < n; i++ {
+				if levelPos >= len(levels) {
+					return nil, ErrCorrupt
+				}
+				lvl := prevLevel + int64(levels[levelPos])
+				levelPos++
+				prevLevel = lvl
+				centroid := predictor.Centroid(lvl, lam, mu)
+				if quant.IsReserved(row[i]) {
+					v, err := nextOutlier()
+					if err != nil {
+						return nil, ErrCorrupt
+					}
+					snap[i] = v
+				} else {
+					snap[i] = q.Dequantize(row[i], centroid)
+				}
+			}
+		case t == 0 && m == MT && firstPred == firstLorenzo:
+			prev := 0.0
+			for i := 0; i < n; i++ {
+				if quant.IsReserved(row[i]) {
+					v, err := nextOutlier()
+					if err != nil {
+						return nil, ErrCorrupt
+					}
+					snap[i] = v
+				} else {
+					snap[i] = q.Dequantize(row[i], prev)
+				}
+				prev = snap[i]
+			}
+		case t == 0 && m == MT && firstPred == firstRef:
+			for i := 0; i < n; i++ {
+				if quant.IsReserved(row[i]) {
+					v, err := nextOutlier()
+					if err != nil {
+						return nil, ErrCorrupt
+					}
+					snap[i] = v
+				} else {
+					snap[i] = q.Dequantize(row[i], d.ref[i])
+				}
+			}
+		default: // time-based
+			for i := 0; i < n; i++ {
+				if quant.IsReserved(row[i]) {
+					v, err := nextOutlier()
+					if err != nil {
+						return nil, ErrCorrupt
+					}
+					snap[i] = v
+				} else {
+					snap[i] = q.Dequantize(row[i], prevRecon[i])
+				}
+			}
+		}
+		out[t] = snap
+		prevRecon = snap
+	}
+	if d.ref == nil {
+		d.ref = append([]float64(nil), out[0]...)
+	}
+	return out, nil
+}
+
+// DecodeSnapshot decodes a single snapshot t out of a VQ block without
+// reconstructing the others — the random-access property the paper
+// highlights for VQ (§VI: "any snapshot data can be decompressed very
+// quickly without a need in decompressing other snapshots"). It fails with
+// ErrNotRandomAccess for VQT/MT blocks, whose snapshots are chained in
+// time.
+func (d *Decoder) DecodeSnapshot(blk []byte, t int) ([]float64, error) {
+	h, err := parseHeader(blk)
+	if err != nil {
+		return nil, err
+	}
+	if h.method != VQ {
+		return nil, ErrNotRandomAccess
+	}
+	if t < 0 || t >= h.bs {
+		return nil, fmt.Errorf("core: snapshot %d out of range [0,%d)", t, h.bs)
+	}
+	q, err := quant.New(h.eb, h.scale)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	bins, levels, outliers, err := d.sections(h)
+	if err != nil {
+		return nil, err
+	}
+	if len(levels) != h.bs*h.n {
+		return nil, ErrCorrupt // VQ blocks carry one level delta per value
+	}
+	if h.seq == Seq2 {
+		bins = deinterleave(bins, h.bs, h.n)
+	}
+	// Position the outlier cursor: count reserved codes before row t.
+	opos := 0
+	for _, code := range bins[:t*h.n] {
+		if quant.IsReserved(code) {
+			_, n2, err := quant.ReadBounded(outliers[opos:], h.eb)
+			if err != nil {
+				return nil, ErrCorrupt
+			}
+			opos += n2
+		}
+	}
+	snap := make([]float64, h.n)
+	row := bins[t*h.n : (t+1)*h.n]
+	lvlRow := levels[t*h.n : (t+1)*h.n]
+	prevLevel := int64(0)
+	for i := 0; i < h.n; i++ {
+		lvl := prevLevel + int64(lvlRow[i])
+		prevLevel = lvl
+		if quant.IsReserved(row[i]) {
+			v, n2, err := quant.ReadBounded(outliers[opos:], h.eb)
+			if err != nil {
+				return nil, ErrCorrupt
+			}
+			opos += n2
+			snap[i] = v
+		} else {
+			snap[i] = q.Dequantize(row[i], predictor.Centroid(lvl, h.lam, h.mu))
+		}
+	}
+	return snap, nil
+}
+
+// ErrNotRandomAccess is returned by DecodeSnapshot on VQT/MT blocks.
+var ErrNotRandomAccess = errors.New("core: random access requires a VQ block")
+
+// header is the parsed block preamble.
+type header struct {
+	method    Method
+	seq       Sequence
+	firstPred byte
+	eb        float64
+	scale     int
+	bs, n     int
+	lam, mu   float64
+	body      []byte // compressed payload section
+}
+
+func parseHeader(blk []byte) (*header, error) {
+	br := bitstream.NewByteReader(blk)
+	magic, err := br.ReadBytes(4)
+	if err != nil || string(magic) != blockMagic {
+		return nil, ErrCorrupt
+	}
+	ver, err := br.ReadByte()
+	if err != nil || ver != formatVer {
+		return nil, ErrCorrupt
+	}
+	h := &header{}
+	mByte, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	h.method = Method(mByte)
+	if h.method != VQ && h.method != VQT && h.method != MT {
+		return nil, ErrCorrupt
+	}
+	seqByte, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	h.seq = Sequence(seqByte)
+	if h.firstPred, err = br.ReadByte(); err != nil {
+		return nil, err
+	}
+	if h.eb, err = br.ReadFloat64(); err != nil {
+		return nil, err
+	}
+	scale, err := br.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	h.scale = int(scale)
+	bs64, err := br.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	n64, err := br.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	h.bs, h.n = int(bs64), int(n64)
+	if h.bs <= 0 || h.n < 0 || uint64(h.bs)*uint64(h.n) > 1<<33 {
+		return nil, ErrCorrupt
+	}
+	if h.lam, err = br.ReadFloat64(); err != nil {
+		return nil, err
+	}
+	if h.mu, err = br.ReadFloat64(); err != nil {
+		return nil, err
+	}
+	if h.body, err = br.ReadSection(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// sections decompresses the payload and splits it into the bin stream,
+// level-delta stream and outlier bytes.
+func (d *Decoder) sections(h *header) (bins, levels []int, outliers []byte, err error) {
+	payload, err := d.p.Backend.Decompress(h.body)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pr := bitstream.NewByteReader(payload)
+	if bins, err = huffman.DecodeInts(pr); err != nil {
+		return nil, nil, nil, err
+	}
+	if levels, err = huffman.DecodeInts(pr); err != nil {
+		return nil, nil, nil, err
+	}
+	if outliers, err = pr.ReadSection(); err != nil {
+		return nil, nil, nil, err
+	}
+	if len(bins) != h.bs*h.n {
+		return nil, nil, nil, ErrCorrupt
+	}
+	return bins, levels, outliers, nil
+}
+
+// BlockMethod peeks at a block's concrete method without decoding it.
+func BlockMethod(blk []byte) (Method, error) {
+	if len(blk) < 6 || string(blk[:4]) != blockMagic {
+		return 0, ErrCorrupt
+	}
+	return Method(blk[5]), nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDecodeSnapshotVQ(t *testing.T) {
+	data := crystalBatch(12, 300, 21)
+	for _, seq := range []Sequence{Seq1, Seq2} {
+		enc, err := NewEncoder(Params{ErrorBound: 1e-3, Method: VQ, Sequence: seq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk, err := enc.EncodeBatch(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := NewDecoder(Params{})
+		full, err := dec.DecodeBatch(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec2 := NewDecoder(Params{})
+		for _, snap := range []int{0, 5, 11} {
+			got, err := dec2.DecodeSnapshot(blk, snap)
+			if err != nil {
+				t.Fatalf("%v snapshot %d: %v", seq, snap, err)
+			}
+			for i := range got {
+				if got[i] != full[snap][i] {
+					t.Fatalf("%v snapshot %d particle %d: random access %v != full decode %v",
+						seq, snap, i, got[i], full[snap][i])
+				}
+				if e := math.Abs(got[i] - data[snap][i]); e > 1e-3 {
+					t.Fatalf("%v snapshot %d: error %v", seq, snap, e)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeSnapshotWithOutliers(t *testing.T) {
+	// Mix in extreme values to force the outlier path; the cursor must be
+	// positioned correctly when skipping earlier rows.
+	data := crystalBatch(6, 100, 22)
+	data[2][50] = 1e15
+	data[4][7] = -1e15
+	enc, _ := NewEncoder(Params{ErrorBound: 1e-4, Method: VQ})
+	blk, err := enc.EncodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(Params{})
+	for snap := 0; snap < 6; snap++ {
+		got, err := dec.DecodeSnapshot(blk, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if e := math.Abs(got[i] - data[snap][i]); e > 1e-4 {
+				t.Fatalf("snapshot %d particle %d: error %v", snap, i, e)
+			}
+		}
+	}
+}
+
+func TestDecodeSnapshotRejectsTimeChained(t *testing.T) {
+	data := crystalBatch(5, 50, 23)
+	for _, m := range []Method{VQT, MT} {
+		enc, _ := NewEncoder(Params{ErrorBound: 1e-3, Method: m})
+		blk, err := enc.EncodeBatch(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := NewDecoder(Params{})
+		if _, err := dec.DecodeSnapshot(blk, 1); err != ErrNotRandomAccess {
+			t.Errorf("%v: err = %v, want ErrNotRandomAccess", m, err)
+		}
+	}
+}
+
+func TestDecodeSnapshotBounds(t *testing.T) {
+	data := crystalBatch(4, 20, 24)
+	enc, _ := NewEncoder(Params{ErrorBound: 1e-3, Method: VQ})
+	blk, _ := enc.EncodeBatch(data)
+	dec := NewDecoder(Params{})
+	if _, err := dec.DecodeSnapshot(blk, -1); err == nil {
+		t.Error("negative snapshot accepted")
+	}
+	if _, err := dec.DecodeSnapshot(blk, 4); err == nil {
+		t.Error("out-of-range snapshot accepted")
+	}
+	if _, err := dec.DecodeSnapshot([]byte("bogus"), 0); err == nil {
+		t.Error("bogus block accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testSet(m, n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Meta: Metadata{
+		Name: "Test", State: "Solid", Code: "LAMMPS",
+		OriginalAtoms: 1077290, OriginalSnapshots: 83, Box: 25.0,
+	}}
+	for i := 0; i < m; i++ {
+		f := NewFrame(n)
+		for j := 0; j < n; j++ {
+			f.X[j] = rng.Float64() * 25
+			f.Y[j] = rng.Float64() * 25
+			f.Z[j] = rng.Float64() * 25
+		}
+		d.Frames = append(d.Frames, f)
+	}
+	return d
+}
+
+func TestAxisAccessors(t *testing.T) {
+	d := testSet(3, 5, 1)
+	if d.M() != 3 || d.N() != 5 {
+		t.Fatalf("M=%d N=%d", d.M(), d.N())
+	}
+	if d.SizeBytes() != 3*5*3*8 {
+		t.Errorf("SizeBytes=%d", d.SizeBytes())
+	}
+	for _, a := range Axes {
+		series := d.AxisSeries(a)
+		if len(series) != 3 || len(series[0]) != 5 {
+			t.Fatalf("axis %v: bad shape", a)
+		}
+		// Alias check: mutating the series mutates the dataset.
+		series[0][0] = -999
+		if d.Frames[0].Axis(a)[0] != -999 {
+			t.Errorf("axis %v series is not a view", a)
+		}
+	}
+	if AxisX.String() != "x" || AxisY.String() != "y" || AxisZ.String() != "z" {
+		t.Error("axis names")
+	}
+}
+
+func TestBatches(t *testing.T) {
+	d := testSet(7, 2, 2)
+	b := d.Batches(3)
+	if len(b) != 3 || len(b[0]) != 3 || len(b[1]) != 3 || len(b[2]) != 1 {
+		t.Fatalf("batch shapes: %d %v", len(b), []int{len(b[0]), len(b[1]), len(b[2])})
+	}
+	if got := d.Batches(0); len(got) != 1 || len(got[0]) != 7 {
+		t.Error("bs<=0 should yield one batch")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := testSet(2, 3, 3)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d.Frames[1].Y[0] = math.NaN()
+	if err := d.Validate(); err == nil {
+		t.Error("expected NaN to fail validation")
+	}
+	d2 := testSet(2, 3, 4)
+	d2.Frames[1] = NewFrame(4)
+	if err := d2.Validate(); err == nil {
+		t.Error("expected inconsistent N to fail validation")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := testSet(4, 9, 5)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Meta, d.Meta) {
+		t.Errorf("meta mismatch: %+v vs %+v", got.Meta, d.Meta)
+	}
+	if !reflect.DeepEqual(got.Frames, d.Frames) {
+		t.Error("frames mismatch")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	d := testSet(2, 4, 6)
+	path := filepath.Join(t.TempDir(), "traj.mdzd")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Frames, d.Frames) {
+		t.Error("frames mismatch after Save/Load")
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Error("expected error for bad magic")
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	d := testSet(3, 3, 7)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-10])); err == nil {
+		t.Error("expected error for truncated payload")
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := testSet(1, 3, 8)
+	c := d.Frames[0].Clone()
+	c.X[0] = 1e9
+	if d.Frames[0].X[0] == 1e9 {
+		t.Error("Clone must deep-copy")
+	}
+}

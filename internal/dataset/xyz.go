@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteXYZ serializes the dataset in the ubiquitous extended-XYZ text
+// format (one block per frame: atom count, comment line, then
+// "element x y z" rows), for interoperability with VMD, OVITO, ASE and
+// other MD tooling.
+func (d *Dataset) WriteXYZ(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for fi, f := range d.Frames {
+		fmt.Fprintf(bw, "%d\n", f.N())
+		fmt.Fprintf(bw, "frame=%d dataset=%s\n", fi, d.Meta.Name)
+		for i := 0; i < f.N(); i++ {
+			fmt.Fprintf(bw, "X %.17g %.17g %.17g\n", f.X[i], f.Y[i], f.Z[i])
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadXYZ parses an XYZ trajectory written by WriteXYZ or standard MD
+// tools. Element symbols are ignored; all frames must share an atom count.
+func ReadXYZ(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	d := &Dataset{}
+	for {
+		// Atom-count line (skip blank lines between frames).
+		var countLine string
+		ok := false
+		for sc.Scan() {
+			countLine = strings.TrimSpace(sc.Text())
+			if countLine != "" {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		n, err := strconv.Atoi(countLine)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("dataset: bad XYZ atom count %q", countLine)
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("dataset: XYZ missing comment line")
+		}
+		f := NewFrame(n)
+		for i := 0; i < n; i++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("dataset: XYZ truncated at atom %d", i)
+			}
+			fields := strings.Fields(sc.Text())
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("dataset: XYZ atom line %q", sc.Text())
+			}
+			for k, dst := range []*float64{&f.X[i], &f.Y[i], &f.Z[i]} {
+				v, err := strconv.ParseFloat(fields[k+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: XYZ coordinate %q: %v", fields[k+1], err)
+				}
+				*dst = v
+			}
+		}
+		if len(d.Frames) > 0 && n != d.N() {
+			return nil, fmt.Errorf("dataset: XYZ frame %d has %d atoms, want %d", len(d.Frames), n, d.N())
+		}
+		d.Frames = append(d.Frames, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(d.Frames) == 0 {
+		return nil, fmt.Errorf("dataset: empty XYZ input")
+	}
+	return d, nil
+}

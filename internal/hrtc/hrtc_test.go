@@ -1,0 +1,86 @@
+package hrtc_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/mdz/mdz/internal/codec"
+	"github.com/mdz/mdz/internal/codec/codectest"
+	"github.com/mdz/mdz/internal/hrtc"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.RunConformance(t, codec.FromBatch(&hrtc.Compressor{}))
+}
+
+func TestAtomLimitEmulation(t *testing.T) {
+	c := &hrtc.Compressor{LimitAtoms: 5}
+	big := [][]float64{make([]float64, 6)}
+	if _, err := c.CompressSeries(big, 1e-3); !errors.Is(err, hrtc.ErrUnsupported) {
+		t.Errorf("expected ErrUnsupported, got %v", err)
+	}
+	if hrtc.MaxAtoms != 100_000 {
+		t.Errorf("MaxAtoms = %d; the paper's HRTC failed on Helium-A (106,711 atoms)", hrtc.MaxAtoms)
+	}
+}
+
+func TestPiecewiseLinearExactOnLines(t *testing.T) {
+	// Perfectly linear trajectories collapse to two knots per atom.
+	bs, n := 50, 200
+	batch := make([][]float64, bs)
+	for t2 := range batch {
+		snap := make([]float64, n)
+		for i := range snap {
+			snap[i] = float64(i) + 0.5*float64(t2)
+		}
+		batch[t2] = snap
+	}
+	c := &hrtc.Compressor{}
+	blk, err := c.CompressSeries(batch, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk) > bs*n {
+		t.Errorf("linear trajectories compressed to %d B for %d values", len(blk), bs*n)
+	}
+	got, err := c.DecompressSeries(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range batch {
+		for i := range batch[t2] {
+			if e := math.Abs(got[t2][i] - batch[t2][i]); e > 1e-2 {
+				t.Fatalf("error %v at (%d,%d)", e, t2, i)
+			}
+		}
+	}
+}
+
+func TestSingleSnapshot(t *testing.T) {
+	c := &hrtc.Compressor{}
+	blk, err := c.CompressSeries([][]float64{{3.25, -1.5}}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DecompressSeries(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0][0]-3.25) > 1e-3 || math.Abs(got[0][1]+1.5) > 1e-3 {
+		t.Errorf("single snapshot: %v", got[0])
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	c := &hrtc.Compressor{}
+	blk, err := c.CompressSeries([][]float64{{1, 2}, {1.1, 2.1}, {1.2, 2.2}}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, len(blk) - 2} {
+		if _, err := c.DecompressSeries(blk[:cut]); err == nil {
+			t.Errorf("prefix %d accepted", cut)
+		}
+	}
+}

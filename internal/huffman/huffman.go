@@ -1,0 +1,441 @@
+// Package huffman implements a canonical Huffman codec over integer symbol
+// alphabets. It is the entropy-coding stage of the SZ-style pipeline used by
+// MDZ and the reimplemented baselines: quantization bins and level-index
+// codes are Huffman coded before the dictionary (lossless) stage.
+//
+// The code table is serialized compactly as (symbol, code length) pairs and
+// rebuilt canonically on decode, so encoder and decoder never need to share
+// the tree itself.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/mdz/mdz/internal/bitstream"
+)
+
+// MaxCodeLen is the longest admissible code. Canonical codes are rebalanced
+// to fit (package-limited alphabets make overflow practically impossible,
+// but depth is still enforced for decoder table safety).
+const MaxCodeLen = 58
+
+var (
+	// ErrCorrupt is returned when a serialized table or code stream is
+	// malformed.
+	ErrCorrupt = errors.New("huffman: corrupt stream")
+)
+
+type heapNode struct {
+	weight      uint64
+	symbol      int // valid for leaves
+	left, right *heapNode
+	order       int // tie-break for determinism
+}
+
+type nodeHeap []*heapNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].order < h[j].order
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*heapNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Encoder holds a canonical code table for a fixed symbol set.
+type Encoder struct {
+	codes map[int]code
+	// table serialization, cached at build time
+	symbols []int
+	lengths []uint8
+}
+
+type code struct {
+	bits uint64
+	n    uint8
+}
+
+// Build constructs a canonical Huffman code for the given symbol frequency
+// map. Symbols with zero frequency are ignored. Build is deterministic: the
+// same frequency map always produces the same code.
+func Build(freq map[int]uint64) (*Encoder, error) {
+	if len(freq) == 0 {
+		return &Encoder{codes: map[int]code{}}, nil
+	}
+	syms := make([]int, 0, len(freq))
+	for s, f := range freq {
+		if f > 0 {
+			syms = append(syms, s)
+		}
+	}
+	if len(syms) == 0 {
+		return &Encoder{codes: map[int]code{}}, nil
+	}
+	sort.Ints(syms)
+	if len(syms) == 1 {
+		// Degenerate alphabet: one-bit code.
+		e := &Encoder{codes: map[int]code{syms[0]: {0, 1}}}
+		e.symbols = []int{syms[0]}
+		e.lengths = []uint8{1}
+		return e, nil
+	}
+	h := make(nodeHeap, 0, len(syms))
+	order := 0
+	for _, s := range syms {
+		h = append(h, &heapNode{weight: freq[s], symbol: s, order: order})
+		order++
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*heapNode)
+		b := heap.Pop(&h).(*heapNode)
+		heap.Push(&h, &heapNode{weight: a.weight + b.weight, left: a, right: b, order: order})
+		order++
+	}
+	root := h[0]
+	lengths := map[int]uint8{}
+	assignDepths(root, 0, lengths)
+	// Clamp pathological depths (cannot realistically occur with uint64
+	// weights and bounded alphabets, but keep the decoder table safe).
+	for s, l := range lengths {
+		if l > MaxCodeLen {
+			lengths[s] = MaxCodeLen
+		} else if l == 0 {
+			lengths[s] = 1
+		}
+		_ = s
+	}
+	return fromLengths(lengths)
+}
+
+func assignDepths(n *heapNode, depth uint8, out map[int]uint8) {
+	if n.left == nil && n.right == nil {
+		out[n.symbol] = depth
+		return
+	}
+	assignDepths(n.left, depth+1, out)
+	assignDepths(n.right, depth+1, out)
+}
+
+// fromLengths builds the canonical code assignment from code lengths:
+// symbols sorted by (length, symbol) receive consecutive codes.
+func fromLengths(lengths map[int]uint8) (*Encoder, error) {
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	list := make([]sl, 0, len(lengths))
+	for s, l := range lengths {
+		if l == 0 || l > MaxCodeLen {
+			return nil, fmt.Errorf("huffman: invalid code length %d for symbol %d", l, s)
+		}
+		list = append(list, sl{s, l})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].l != list[j].l {
+			return list[i].l < list[j].l
+		}
+		return list[i].sym < list[j].sym
+	})
+	e := &Encoder{codes: make(map[int]code, len(list))}
+	var next uint64
+	var prevLen uint8
+	for _, it := range list {
+		next <<= (it.l - prevLen)
+		prevLen = it.l
+		if it.l < 64 && next >= (1<<it.l) {
+			return nil, ErrCorrupt // over-subscribed code space
+		}
+		e.codes[it.sym] = code{bits: next, n: it.l}
+		e.symbols = append(e.symbols, it.sym)
+		e.lengths = append(e.lengths, it.l)
+		next++
+	}
+	return e, nil
+}
+
+// CodeLen returns the code length in bits for symbol s, or 0 if s is not in
+// the alphabet.
+func (e *Encoder) CodeLen(s int) int {
+	return int(e.codes[s].n)
+}
+
+// NumSymbols reports the alphabet size.
+func (e *Encoder) NumSymbols() int { return len(e.codes) }
+
+// Encode appends the code for symbol s to w. Encoding a symbol outside the
+// alphabet returns an error.
+func (e *Encoder) Encode(w *bitstream.Writer, s int) error {
+	c, ok := e.codes[s]
+	if !ok {
+		return fmt.Errorf("huffman: symbol %d not in alphabet", s)
+	}
+	w.WriteBits(c.bits, uint(c.n))
+	return nil
+}
+
+// EncodeAll encodes a symbol slice.
+func (e *Encoder) EncodeAll(w *bitstream.Writer, syms []int) error {
+	for _, s := range syms {
+		if err := e.Encode(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendTable serializes the code table: uvarint count, then per symbol a
+// zigzag-varint symbol delta (sorted canonical order) and a byte length.
+func (e *Encoder) AppendTable(dst []byte) []byte {
+	dst = bitstream.AppendUvarint(dst, uint64(len(e.symbols)))
+	prev := int64(0)
+	// Serialize sorted by symbol so deltas are small and non-negative-ish.
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	list := make([]sl, len(e.symbols))
+	for i, s := range e.symbols {
+		list[i] = sl{s, e.lengths[i]}
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].sym < list[j].sym })
+	for _, it := range list {
+		dst = bitstream.AppendVarint(dst, int64(it.sym)-prev)
+		prev = int64(it.sym)
+		dst = append(dst, it.l)
+	}
+	return dst
+}
+
+// lutBits is the width of the one-shot decode table: codes up to this
+// length resolve with a single peek instead of a bitwise walk.
+const lutBits = 11
+
+// lutEntry packs (symbol index, code length) for the fast decode path.
+type lutEntry struct {
+	index int32 // index into symbols; -1 for slow path
+	len   uint8
+}
+
+// Decoder rebuilds a canonical code from a serialized table and decodes
+// symbol streams.
+type Decoder struct {
+	// canonical decode tables indexed by code length
+	firstCode  [MaxCodeLen + 1]uint64
+	firstIndex [MaxCodeLen + 1]int
+	count      [MaxCodeLen + 1]int
+	symbols    []int // canonical order
+	maxLen     uint8
+	// lut resolves all codes of length <= lutBits in one table lookup.
+	lut []lutEntry
+}
+
+// ReadTable parses a table serialized by AppendTable from br and returns the
+// Decoder.
+func ReadTable(br *bitstream.ByteReader) (*Decoder, error) {
+	n, err := br.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<24 {
+		return nil, ErrCorrupt
+	}
+	lengths := make(map[int]uint8, n)
+	prev := int64(0)
+	for i := uint64(0); i < n; i++ {
+		d, err := br.ReadVarint()
+		if err != nil {
+			return nil, err
+		}
+		prev += d
+		l, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if l == 0 || l > MaxCodeLen {
+			return nil, ErrCorrupt
+		}
+		lengths[int(prev)] = l
+	}
+	return NewDecoder(lengths)
+}
+
+// NewDecoder builds a Decoder directly from a symbol→length map.
+func NewDecoder(lengths map[int]uint8) (*Decoder, error) {
+	if len(lengths) == 0 {
+		return &Decoder{}, nil
+	}
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	list := make([]sl, 0, len(lengths))
+	for s, l := range lengths {
+		if l == 0 || l > MaxCodeLen {
+			return nil, ErrCorrupt
+		}
+		list = append(list, sl{s, l})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].l != list[j].l {
+			return list[i].l < list[j].l
+		}
+		return list[i].sym < list[j].sym
+	})
+	d := &Decoder{symbols: make([]int, len(list))}
+	for i, it := range list {
+		d.symbols[i] = it.sym
+		d.count[it.l]++
+		if it.l > d.maxLen {
+			d.maxLen = it.l
+		}
+	}
+	var c uint64
+	idx := 0
+	for l := uint8(1); l <= d.maxLen; l++ {
+		d.firstCode[l] = c
+		d.firstIndex[l] = idx
+		c += uint64(d.count[l])
+		idx += d.count[l]
+		if l < 64 && c > (1<<l) {
+			return nil, ErrCorrupt
+		}
+		c <<= 1
+	}
+	d.buildLUT()
+	return d, nil
+}
+
+// buildLUT fills the one-shot decode table: every lutBits-wide prefix whose
+// leading bits form a complete code of length <= lutBits maps directly to
+// its symbol.
+func (d *Decoder) buildLUT() {
+	d.lut = make([]lutEntry, 1<<lutBits)
+	for i := range d.lut {
+		d.lut[i].index = -1
+	}
+	maxL := d.maxLen
+	if maxL > lutBits {
+		maxL = lutBits
+	}
+	for l := uint8(1); l <= maxL; l++ {
+		for k := 0; k < d.count[l]; k++ {
+			code := d.firstCode[l] + uint64(k)
+			symIdx := int32(d.firstIndex[l] + k)
+			base := code << (lutBits - uint(l))
+			span := uint64(1) << (lutBits - uint(l))
+			for s := uint64(0); s < span; s++ {
+				d.lut[base+s] = lutEntry{index: symIdx, len: l}
+			}
+		}
+	}
+}
+
+// Decode reads one symbol from r.
+func (d *Decoder) Decode(r *bitstream.Reader) (int, error) {
+	if len(d.symbols) == 0 {
+		return 0, ErrCorrupt
+	}
+	// Fast path: resolve short codes with a single table lookup.
+	if d.lut != nil {
+		if bits, avail := r.Peek(lutBits); avail > 0 {
+			e := d.lut[bits]
+			if e.index >= 0 && uint(e.len) <= avail {
+				if err := r.Skip(uint(e.len)); err != nil {
+					return 0, err
+				}
+				return d.symbols[e.index], nil
+			}
+		}
+	}
+	var c uint64
+	for l := uint8(1); l <= d.maxLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		c = (c << 1) | uint64(b)
+		if d.count[l] > 0 {
+			offset := c - d.firstCode[l]
+			if c >= d.firstCode[l] && offset < uint64(d.count[l]) {
+				return d.symbols[d.firstIndex[l]+int(offset)], nil
+			}
+		}
+	}
+	return 0, ErrCorrupt
+}
+
+// DecodeAll reads exactly n symbols into a new slice.
+func (d *Decoder) DecodeAll(r *bitstream.Reader, n int) ([]int, error) {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		s, err := d.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// EncodeInts is a convenience that builds a code for syms, serializes the
+// table and the bit-packed payload, and returns table||payload as
+// length-prefixed sections appended to dst.
+func EncodeInts(dst []byte, syms []int) ([]byte, error) {
+	freq := make(map[int]uint64)
+	for _, s := range syms {
+		freq[s]++
+	}
+	enc, err := Build(freq)
+	if err != nil {
+		return nil, err
+	}
+	table := enc.AppendTable(nil)
+	w := bitstream.NewWriter(len(syms) / 2)
+	if err := enc.EncodeAll(w, syms); err != nil {
+		return nil, err
+	}
+	dst = bitstream.AppendSection(dst, table)
+	dst = bitstream.AppendUvarint(dst, uint64(len(syms)))
+	dst = bitstream.AppendSection(dst, w.Bytes())
+	return dst, nil
+}
+
+// DecodeInts inverts EncodeInts, consuming from br.
+func DecodeInts(br *bitstream.ByteReader) ([]int, error) {
+	table, err := br.ReadSection()
+	if err != nil {
+		return nil, err
+	}
+	dec, err := ReadTable(bitstream.NewByteReader(table))
+	if err != nil {
+		return nil, err
+	}
+	n, err := br.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := br.ReadSection()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return []int{}, nil
+	}
+	if n > uint64(len(payload))*64+64 {
+		return nil, ErrCorrupt
+	}
+	return dec.DecodeAll(bitstream.NewReader(payload), int(n))
+}

@@ -1,0 +1,230 @@
+package huffman
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/mdz/mdz/internal/bitstream"
+)
+
+func roundTrip(t *testing.T, syms []int) {
+	t.Helper()
+	buf, err := EncodeInts(nil, syms)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeInts(bitstream.NewByteReader(buf))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(syms) == 0 && len(got) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, syms) {
+		t.Fatalf("round trip mismatch: got %v want %v", got, syms)
+	}
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, []int{1, 2, 3, 1, 1, 1, 2, 0, -5, 1024, -1024, 1, 1})
+}
+
+func TestRoundTripSingleSymbol(t *testing.T) {
+	roundTrip(t, []int{7, 7, 7, 7, 7})
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	roundTrip(t, []int{})
+}
+
+func TestRoundTripNegativeSymbols(t *testing.T) {
+	roundTrip(t, []int{-1, -2, -3, -1000000, 1000000, 0})
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	// Heavily skewed distribution typical of quantization bins.
+	rng := rand.New(rand.NewSource(42))
+	syms := make([]int, 20000)
+	for i := range syms {
+		r := rng.Float64()
+		switch {
+		case r < 0.85:
+			syms[i] = 512 // the "zero residual" bin
+		case r < 0.95:
+			syms[i] = 511 + rng.Intn(3)
+		default:
+			syms[i] = rng.Intn(1024)
+		}
+	}
+	buf, err := EncodeInts(nil, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeInts(bitstream.NewByteReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, syms) {
+		t.Fatal("round trip mismatch on skewed data")
+	}
+	// Entropy coding must beat the 2-byte naive encoding on skewed data.
+	if len(buf) > len(syms) {
+		t.Errorf("compressed size %d exceeds %d symbols at 1B/sym on skewed data", len(buf), len(syms))
+	}
+}
+
+func TestSkewedCodesShorter(t *testing.T) {
+	freq := map[int]uint64{0: 1000, 1: 100, 2: 10, 3: 1}
+	e, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.CodeLen(0) > e.CodeLen(3) {
+		t.Errorf("frequent symbol has longer code: len(0)=%d len(3)=%d", e.CodeLen(0), e.CodeLen(3))
+	}
+	if e.CodeLen(0) != 1 {
+		t.Errorf("dominant symbol should get a 1-bit code, got %d", e.CodeLen(0))
+	}
+}
+
+func TestKraftInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		freq := map[int]uint64{}
+		n := 2 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			freq[rng.Intn(2000)-1000] = uint64(1 + rng.Intn(10000))
+		}
+		e, err := Build(freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var kraft float64
+		for s := range e.codes {
+			kraft += 1.0 / float64(uint64(1)<<e.codes[s].n)
+		}
+		if kraft > 1.0000001 {
+			t.Fatalf("trial %d: Kraft sum %v > 1", trial, kraft)
+		}
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	freq := map[int]uint64{5: 3, -2: 3, 9: 3, 0: 7}
+	a, _ := Build(freq)
+	b, _ := Build(freq)
+	if !reflect.DeepEqual(a.AppendTable(nil), b.AppendTable(nil)) {
+		t.Error("Build is not deterministic")
+	}
+}
+
+func TestEncodeUnknownSymbol(t *testing.T) {
+	e, _ := Build(map[int]uint64{1: 1, 2: 1})
+	w := &bitstream.Writer{}
+	if err := e.Encode(w, 99); err == nil {
+		t.Error("expected error encoding unknown symbol")
+	}
+}
+
+func TestCorruptTable(t *testing.T) {
+	// Length byte of 0 is invalid.
+	var buf []byte
+	buf = bitstream.AppendUvarint(buf, 1)
+	buf = bitstream.AppendVarint(buf, 5)
+	buf = append(buf, 0)
+	if _, err := ReadTable(bitstream.NewByteReader(buf)); err == nil {
+		t.Error("expected error on zero code length")
+	}
+}
+
+func TestCorruptOversubscribed(t *testing.T) {
+	// Three symbols of length 1 oversubscribe the code space.
+	_, err := NewDecoder(map[int]uint8{1: 1, 2: 1, 3: 1})
+	if err == nil {
+		t.Error("expected error on oversubscribed lengths")
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	syms := make([]int, 100)
+	for i := range syms {
+		syms[i] = i % 7
+	}
+	buf, err := EncodeInts(nil, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop off the tail; decode must error, not hang or panic.
+	_, err = DecodeInts(bitstream.NewByteReader(buf[:len(buf)-5]))
+	if err == nil {
+		t.Error("expected error on truncated payload")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []int16) bool {
+		syms := make([]int, len(raw))
+		for i, v := range raw {
+			syms[i] = int(v)
+		}
+		buf, err := EncodeInts(nil, syms)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeInts(bitstream.NewByteReader(buf))
+		if err != nil {
+			return false
+		}
+		if len(syms) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, syms)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeSkewed(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]int, 1<<16)
+	for i := range syms {
+		if rng.Float64() < 0.9 {
+			syms[i] = 512
+		} else {
+			syms[i] = rng.Intn(1024)
+		}
+	}
+	b.SetBytes(int64(len(syms) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeInts(nil, syms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSkewed(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]int, 1<<16)
+	for i := range syms {
+		if rng.Float64() < 0.9 {
+			syms[i] = 512
+		} else {
+			syms[i] = rng.Intn(1024)
+		}
+	}
+	buf, err := EncodeInts(nil, syms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(syms) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeInts(bitstream.NewByteReader(buf)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

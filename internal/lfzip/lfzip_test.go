@@ -1,0 +1,98 @@
+package lfzip_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/mdz/mdz/internal/codec"
+	"github.com/mdz/mdz/internal/codec/codectest"
+	"github.com/mdz/mdz/internal/lfzip"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.RunConformance(t, codec.FromBatch(&lfzip.Compressor{}))
+}
+
+func TestName(t *testing.T) {
+	if (&lfzip.Compressor{}).Name() != "LFZip" {
+		t.Error("name")
+	}
+}
+
+func TestNLMSAdaptsToSinusoid(t *testing.T) {
+	// A long per-particle sinusoid is highly predictable for NLMS once the
+	// filter warms up: the payload should shrink well below 2 bytes/value.
+	bs, n := 64, 100
+	batch := make([][]float64, bs)
+	for t2 := range batch {
+		snap := make([]float64, n)
+		for i := range snap {
+			snap[i] = 10 * math.Sin(0.2*float64(t2)+float64(i))
+		}
+		batch[t2] = snap
+	}
+	c := &lfzip.Compressor{}
+	blk, err := c.CompressSeries(batch, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk) > bs*n*2 {
+		t.Errorf("sinusoid compressed to %d B for %d values", len(blk), bs*n)
+	}
+	got, err := c.DecompressSeries(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range batch {
+		for i := range batch[t2] {
+			if e := math.Abs(got[t2][i] - batch[t2][i]); e > 1e-3 {
+				t.Fatalf("bound violated: %v at (%d,%d)", e, t2, i)
+			}
+		}
+	}
+}
+
+func TestFilterStability(t *testing.T) {
+	// Adversarial data with huge dynamic range must not destabilize the
+	// filter (errors guarded by the outlier path).
+	rng := rand.New(rand.NewSource(6))
+	bs, n := 20, 80
+	batch := make([][]float64, bs)
+	for t2 := range batch {
+		snap := make([]float64, n)
+		for i := range snap {
+			snap[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20))-10)
+		}
+		batch[t2] = snap
+	}
+	c := &lfzip.Compressor{}
+	blk, err := c.CompressSeries(batch, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DecompressSeries(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range batch {
+		for i := range batch[t2] {
+			if e := math.Abs(got[t2][i] - batch[t2][i]); e > 1e-6 {
+				t.Fatalf("bound violated: %v", e)
+			}
+		}
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	c := &lfzip.Compressor{}
+	blk, err := c.CompressSeries([][]float64{{1, 2}, {3, 4}}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, len(blk) - 2} {
+		if _, err := c.DecompressSeries(blk[:cut]); err == nil {
+			t.Errorf("prefix %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package lossless
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/mdz/mdz/internal/bitstream"
+)
+
+// FPC reimplements the FPC lossless floating-point compressor (Burtscher &
+// Ratanaworabhan): two hash-based value predictors — an FCM (finite context
+// method) and a DFCM (differential FCM) — predict each double's bit pattern;
+// the better prediction is XORed with the true value and only the non-zero
+// tail bytes are stored, preceded by a selector bit and a leading-zero-byte
+// count.
+type FPC struct {
+	// TableBits sets each predictor's hash-table size to 1<<TableBits
+	// entries; 0 means 16 (512 KiB per table).
+	TableBits uint
+}
+
+// Name implements FloatCompressor.
+func (FPC) Name() string { return "fpc" }
+
+func (f FPC) tableBits() uint {
+	if f.TableBits == 0 {
+		return 16
+	}
+	return f.TableBits
+}
+
+type fpcState struct {
+	fcm, dfcm    []uint64
+	fhash, dhash uint64
+	last         uint64
+	mask         uint64
+}
+
+func newFPCState(bits uint) *fpcState {
+	return &fpcState{
+		fcm:  make([]uint64, 1<<bits),
+		dfcm: make([]uint64, 1<<bits),
+		mask: (1 << bits) - 1,
+	}
+}
+
+// predict returns the two candidate predictions for the next value.
+func (s *fpcState) predict() (fcmPred, dfcmPred uint64) {
+	return s.fcm[s.fhash], s.dfcm[s.dhash] + s.last
+}
+
+// update folds the actual value into both predictor tables.
+func (s *fpcState) update(actual uint64) {
+	s.fcm[s.fhash] = actual
+	s.fhash = ((s.fhash << 6) ^ (actual >> 48)) & s.mask
+	delta := actual - s.last
+	s.dfcm[s.dhash] = delta
+	s.dhash = ((s.dhash << 2) ^ (delta >> 40)) & s.mask
+	s.last = actual
+}
+
+// CompressFloats implements FloatCompressor.
+func (f FPC) CompressFloats(src []float64) ([]byte, error) {
+	s := newFPCState(f.tableBits())
+	head := bitstream.NewWriter(len(src)) // selector + LZB counts
+	var tail []byte                       // residual bytes
+	for _, v := range src {
+		bits := math.Float64bits(v)
+		p1, p2 := s.predict()
+		x1, x2 := bits^p1, bits^p2
+		sel := uint(0)
+		x := x1
+		if leadingZeroBytes(x2) > leadingZeroBytes(x1) {
+			sel, x = 1, x2
+		}
+		lzb := leadingZeroBytes(x)
+		head.WriteBit(sel)
+		head.WriteBits(uint64(lzb), 4)
+		var scratch [8]byte
+		binary.BigEndian.PutUint64(scratch[:], x)
+		tail = append(tail, scratch[lzb:]...)
+		s.update(bits)
+	}
+	out := bitstream.AppendUvarint(nil, uint64(len(src)))
+	out = append(out, byte(f.tableBits()))
+	out = bitstream.AppendSection(out, head.Bytes())
+	out = bitstream.AppendSection(out, tail)
+	return out, nil
+}
+
+// DecompressFloats implements FloatCompressor.
+func (f FPC) DecompressFloats(src []byte) ([]float64, error) {
+	br := bitstream.NewByteReader(src)
+	n, err := br.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<32 {
+		return nil, ErrCorrupt
+	}
+	tb, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if tb == 0 || tb > 28 {
+		return nil, ErrCorrupt
+	}
+	headBytes, err := br.ReadSection()
+	if err != nil {
+		return nil, err
+	}
+	tail, err := br.ReadSection()
+	if err != nil {
+		return nil, err
+	}
+	head := bitstream.NewReader(headBytes)
+	s := newFPCState(uint(tb))
+	out := make([]float64, n)
+	tpos := 0
+	for i := range out {
+		sel, err := head.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		lzb64, err := head.ReadBits(4)
+		if err != nil {
+			return nil, err
+		}
+		lzb := int(lzb64)
+		if lzb > 8 {
+			return nil, ErrCorrupt
+		}
+		nb := 8 - lzb
+		if tpos+nb > len(tail) {
+			return nil, ErrCorrupt
+		}
+		var scratch [8]byte
+		copy(scratch[lzb:], tail[tpos:tpos+nb])
+		tpos += nb
+		x := binary.BigEndian.Uint64(scratch[:])
+		p1, p2 := s.predict()
+		var bits uint64
+		if sel == 0 {
+			bits = x ^ p1
+		} else {
+			bits = x ^ p2
+		}
+		out[i] = math.Float64frombits(bits)
+		s.update(bits)
+	}
+	return out, nil
+}
+
+func leadingZeroBytes(x uint64) int {
+	n := 0
+	for n < 8 && (x>>(56-8*uint(n)))&0xFF == 0 {
+		n++
+	}
+	return n
+}

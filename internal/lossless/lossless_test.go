@@ -1,0 +1,281 @@
+package lossless
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func backends() []Backend {
+	return []Backend{Raw{}, Flate{Level: 6}, Flate{Level: 9, Label: "brotli*"}, Zlib{}, LZ{}}
+}
+
+func floatCompressors() []FloatCompressor {
+	return []FloatCompressor{
+		FloatAdapter{B: LZ{}},
+		FloatAdapter{B: Zlib{}},
+		FloatAdapter{B: Flate{Level: 9}},
+		FPC{},
+		FPZip{},
+		ZFP{},
+	}
+}
+
+func TestBackendRoundTrip(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		{0},
+		[]byte("a"),
+		[]byte("abcabcabcabcabcabcabcabc"),
+		bytes.Repeat([]byte{0x55}, 10000),
+	}
+	rng := rand.New(rand.NewSource(1))
+	random := make([]byte, 4096)
+	rng.Read(random)
+	inputs = append(inputs, random)
+	// Realistic pipeline payload: skewed Huffman output bytes.
+	skewed := make([]byte, 50000)
+	for i := range skewed {
+		if rng.Float64() < 0.8 {
+			skewed[i] = 0
+		} else {
+			skewed[i] = byte(rng.Intn(16))
+		}
+	}
+	inputs = append(inputs, skewed)
+
+	for _, b := range backends() {
+		for i, in := range inputs {
+			comp, err := b.Compress(in)
+			if err != nil {
+				t.Fatalf("%s input %d: compress: %v", b.Name(), i, err)
+			}
+			out, err := b.Decompress(comp)
+			if err != nil {
+				t.Fatalf("%s input %d: decompress: %v", b.Name(), i, err)
+			}
+			if !bytes.Equal(out, in) {
+				t.Fatalf("%s input %d: round trip mismatch (len in=%d out=%d)", b.Name(), i, len(in), len(out))
+			}
+		}
+	}
+}
+
+func TestLZCompressesRepetitive(t *testing.T) {
+	in := bytes.Repeat([]byte("molecular dynamics "), 1000)
+	comp, err := LZ{}.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(in)/10 {
+		t.Errorf("LZ on repetitive input: %d -> %d, expected >10x", len(in), len(comp))
+	}
+}
+
+func TestLZQuickRoundTrip(t *testing.T) {
+	z := LZ{}
+	f := func(in []byte) bool {
+		comp, err := z.Compress(in)
+		if err != nil {
+			return false
+		}
+		out, err := z.Decompress(comp)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLZOverlappingMatch(t *testing.T) {
+	// RLE-style input forces overlapping copies (dist < matchLen).
+	in := append([]byte{1, 2, 3, 4}, bytes.Repeat([]byte{1, 2, 3, 4}, 100)...)
+	z := LZ{}
+	comp, err := z.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := z.Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, in) {
+		t.Fatal("overlapping-match round trip failed")
+	}
+}
+
+func TestLZCorrupt(t *testing.T) {
+	z := LZ{}
+	comp, _ := z.Compress(bytes.Repeat([]byte("xy"), 500))
+	for _, cut := range []int{0, 1, len(comp) / 2, len(comp) - 1} {
+		if _, err := z.Decompress(comp[:cut]); err == nil {
+			t.Errorf("decompress of %d-byte prefix should fail", cut)
+		}
+	}
+}
+
+func mdLikeFloats(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	x := 10.0
+	for i := range out {
+		x += rng.NormFloat64() * 0.01
+		out[i] = x
+	}
+	return out
+}
+
+func TestFloatCompressorsRoundTrip(t *testing.T) {
+	inputs := [][]float64{
+		nil,
+		{},
+		{0},
+		{1.5, -2.25, 3.125},
+		{math.Pi, math.E, math.Sqrt2, math.Ln2, -math.Pi},
+		mdLikeFloats(5000, 7),
+		{math.Inf(1), math.Inf(-1), 0, -0.0, math.MaxFloat64, math.SmallestNonzeroFloat64},
+	}
+	for _, fc := range floatCompressors() {
+		for i, in := range inputs {
+			comp, err := fc.CompressFloats(in)
+			if err != nil {
+				t.Fatalf("%s input %d: compress: %v", fc.Name(), i, err)
+			}
+			out, err := fc.DecompressFloats(comp)
+			if err != nil {
+				t.Fatalf("%s input %d: decompress: %v", fc.Name(), i, err)
+			}
+			if len(out) != len(in) {
+				t.Fatalf("%s input %d: len %d != %d", fc.Name(), i, len(out), len(in))
+			}
+			for j := range in {
+				if math.Float64bits(out[j]) != math.Float64bits(in[j]) {
+					t.Fatalf("%s input %d elem %d: %v != %v", fc.Name(), i, j, out[j], in[j])
+				}
+			}
+		}
+	}
+}
+
+func TestFloatCompressorsNaN(t *testing.T) {
+	in := []float64{1, math.NaN(), 3}
+	for _, fc := range floatCompressors() {
+		comp, err := fc.CompressFloats(in)
+		if err != nil {
+			t.Fatalf("%s: %v", fc.Name(), err)
+		}
+		out, err := fc.DecompressFloats(comp)
+		if err != nil {
+			t.Fatalf("%s: %v", fc.Name(), err)
+		}
+		if !math.IsNaN(out[1]) || out[0] != 1 || out[2] != 3 {
+			t.Errorf("%s: NaN round trip: %v", fc.Name(), out)
+		}
+	}
+}
+
+func TestFloatQuickRoundTrip(t *testing.T) {
+	for _, fc := range []FloatCompressor{FPC{}, FPZip{}, ZFP{}} {
+		fc := fc
+		f := func(in []float64) bool {
+			comp, err := fc.CompressFloats(in)
+			if err != nil {
+				return false
+			}
+			out, err := fc.DecompressFloats(comp)
+			if err != nil || len(out) != len(in) {
+				return false
+			}
+			for i := range in {
+				if math.Float64bits(out[i]) != math.Float64bits(in[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("%s: %v", fc.Name(), err)
+		}
+	}
+}
+
+func TestOrderedFloatMapMonotone(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -1, -1e-300, 0, 1e-300, 1, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		if floatToOrdered(vals[i-1]) >= floatToOrdered(vals[i]) {
+			t.Errorf("ordering violated between %v and %v", vals[i-1], vals[i])
+		}
+	}
+	f := func(x float64) bool { return orderedToFloat(floatToOrdered(x)) == x || math.IsNaN(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaarLiftReversible(t *testing.T) {
+	f := func(a, b int32) bool {
+		s, d := haarFwd(int64(a), int64(b))
+		ga, gb := haarInv(s, d)
+		return ga == int64(a) && gb == int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZFPSmoothBeatsRaw(t *testing.T) {
+	in := make([]float64, 4096)
+	for i := range in {
+		in[i] = 100 + math.Sin(float64(i)*0.001) // very smooth, shared exponent
+	}
+	comp, err := (ZFP{}).CompressFloats(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(in)*8 {
+		t.Errorf("ZFP on smooth input: %d floats -> %d bytes (no gain)", len(in), len(comp))
+	}
+}
+
+func TestFloatAdapterRejectsMisaligned(t *testing.T) {
+	a := FloatAdapter{B: Raw{}}
+	if _, err := a.DecompressFloats([]byte{1, 2, 3}); err == nil {
+		t.Error("expected error for misaligned byte count")
+	}
+}
+
+func TestFPCCorrupt(t *testing.T) {
+	comp, _ := FPC{}.CompressFloats(mdLikeFloats(100, 1))
+	if _, err := (FPC{}).DecompressFloats(comp[:len(comp)/2]); err == nil {
+		t.Error("expected error on truncated FPC stream")
+	}
+}
+
+func BenchmarkLZCompressMDBytes(b *testing.B) {
+	in := FloatsToBytes(mdLikeFloats(1<<14, 3))
+	b.SetBytes(int64(len(in)))
+	z := LZ{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := z.Compress(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFPCCompress(b *testing.B) {
+	in := mdLikeFloats(1<<14, 3)
+	b.SetBytes(int64(len(in) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (FPC{}).CompressFloats(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package lossless
+
+import (
+	"github.com/mdz/mdz/internal/bitstream"
+	"github.com/mdz/mdz/internal/huffman"
+)
+
+// LZ is a from-scratch LZ77 dictionary coder with canonical-Huffman entropy
+// coding, serving as the module's Zstd stand-in: it fills the same
+// "dictionary coding after Huffman" role in the SZ pipeline (paper Fig 2 and
+// Fig 6) and the Zstd row of Table V.
+//
+// Format: magic-free; uvarint original size, then two length-prefixed
+// Huffman sections — literal bytes, and a varint-packed sequence stream of
+// (literalRun, matchLen, distance) triples.
+type LZ struct {
+	// MaxChain bounds the match-finder chain walk; 0 means DefaultMaxChain.
+	MaxChain int
+}
+
+const (
+	lzMinMatch = 4
+	lzWindow   = 1 << 20
+	lzHashBits = 16
+	lzHashSize = 1 << lzHashBits
+	// DefaultMaxChain is the default bound on hash-chain traversal during
+	// match finding; larger values trade speed for ratio.
+	DefaultMaxChain = 32
+)
+
+// Name implements Backend.
+func (LZ) Name() string { return "lz" }
+
+func lzHash(b []byte) uint32 {
+	// 4-byte FNV-style multiplicative hash.
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+// Compress implements Backend.
+func (z LZ) Compress(src []byte) ([]byte, error) {
+	maxChain := z.MaxChain
+	if maxChain <= 0 {
+		maxChain = DefaultMaxChain
+	}
+	var literals []byte
+	var seq []byte // varint triples (litRun, matchLen, dist)
+	if len(src) >= lzMinMatch {
+		head := make([]int32, lzHashSize)
+		for i := range head {
+			head[i] = -1
+		}
+		prev := make([]int32, len(src))
+		litStart := 0
+		i := 0
+		for i+lzMinMatch <= len(src) {
+			h := lzHash(src[i:])
+			bestLen, bestDist := 0, 0
+			cand := head[h]
+			for depth := 0; cand >= 0 && depth < maxChain; depth++ {
+				d := i - int(cand)
+				if d > lzWindow {
+					break
+				}
+				l := matchLen(src, int(cand), i)
+				if l > bestLen {
+					bestLen, bestDist = l, d
+				}
+				cand = prev[cand]
+			}
+			if bestLen >= lzMinMatch {
+				litRun := i - litStart
+				literals = append(literals, src[litStart:i]...)
+				seq = bitstream.AppendUvarint(seq, uint64(litRun))
+				seq = bitstream.AppendUvarint(seq, uint64(bestLen))
+				seq = bitstream.AppendUvarint(seq, uint64(bestDist))
+				// Insert hash entries for the matched region (sparsely for
+				// long matches to bound cost).
+				end := i + bestLen
+				step := 1
+				if bestLen > 64 {
+					step = 4
+				}
+				for ; i+lzMinMatch <= len(src) && i < end; i += step {
+					hh := lzHash(src[i:])
+					prev[i] = head[hh]
+					head[hh] = int32(i)
+				}
+				i = end
+				litStart = i
+			} else {
+				prev[i] = head[h]
+				head[h] = int32(i)
+				i++
+			}
+		}
+		// Trailing literals.
+		if litStart < len(src) {
+			run := len(src) - litStart
+			literals = append(literals, src[litStart:]...)
+			seq = bitstream.AppendUvarint(seq, uint64(run))
+			seq = bitstream.AppendUvarint(seq, 0)
+			seq = bitstream.AppendUvarint(seq, 0)
+		}
+	} else if len(src) > 0 {
+		literals = append(literals, src...)
+		seq = bitstream.AppendUvarint(seq, uint64(len(src)))
+		seq = bitstream.AppendUvarint(seq, 0)
+		seq = bitstream.AppendUvarint(seq, 0)
+	}
+
+	out := bitstream.AppendUvarint(nil, uint64(len(src)))
+	var err error
+	out, err = huffman.EncodeInts(out, bytesToInts(literals))
+	if err != nil {
+		return nil, err
+	}
+	out, err = huffman.EncodeInts(out, bytesToInts(seq))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func matchLen(src []byte, a, b int) int {
+	n := 0
+	for b+n < len(src) && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+func bytesToInts(b []byte) []int {
+	out := make([]int, len(b))
+	for i, v := range b {
+		out[i] = int(v)
+	}
+	return out
+}
+
+func intsToBytes(v []int) ([]byte, error) {
+	out := make([]byte, len(v))
+	for i, x := range v {
+		if x < 0 || x > 255 {
+			return nil, ErrCorrupt
+		}
+		out[i] = byte(x)
+	}
+	return out, nil
+}
+
+// Decompress implements Backend.
+func (z LZ) Decompress(src []byte) ([]byte, error) {
+	br := bitstream.NewByteReader(src)
+	origSize, err := br.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if origSize > 1<<34 {
+		return nil, ErrCorrupt
+	}
+	litInts, err := huffman.DecodeInts(br)
+	if err != nil {
+		return nil, err
+	}
+	literals, err := intsToBytes(litInts)
+	if err != nil {
+		return nil, err
+	}
+	seqInts, err := huffman.DecodeInts(br)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := intsToBytes(seqInts)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]byte, 0, origSize)
+	sr := bitstream.NewByteReader(seq)
+	litPos := 0
+	for sr.Len() > 0 {
+		litRun, err := sr.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		mLen, err := sr.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		dist, err := sr.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if litPos+int(litRun) > len(literals) {
+			return nil, ErrCorrupt
+		}
+		out = append(out, literals[litPos:litPos+int(litRun)]...)
+		litPos += int(litRun)
+		if mLen > 0 {
+			d := int(dist)
+			if d <= 0 || d > len(out) {
+				return nil, ErrCorrupt
+			}
+			// Byte-by-byte copy: matches may overlap their own output.
+			start := len(out) - d
+			for k := 0; k < int(mLen); k++ {
+				out = append(out, out[start+k])
+			}
+		}
+	}
+	if uint64(len(out)) != origSize {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

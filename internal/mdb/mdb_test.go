@@ -1,0 +1,117 @@
+package mdb_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mdz/mdz/internal/codec"
+	"github.com/mdz/mdz/internal/codec/codectest"
+	"github.com/mdz/mdz/internal/mdb"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.RunConformance(t, codec.FromBatch(&mdb.Compressor{}))
+}
+
+func TestPMCOnConstantSeries(t *testing.T) {
+	// Constant series collapse to one PMC segment each.
+	bs, n := 40, 500
+	batch := make([][]float64, bs)
+	for t2 := range batch {
+		snap := make([]float64, n)
+		for i := range snap {
+			snap[i] = float64(i) * 0.1
+		}
+		batch[t2] = snap
+	}
+	c := &mdb.Compressor{}
+	blk, err := c.CompressSeries(batch, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One PMC segment per atom ≈ 11 bytes ≪ raw 40×8.
+	if len(blk) > n*20 {
+		t.Errorf("constant series: %d B for %d atoms", len(blk), n)
+	}
+	got, err := c.DecompressSeries(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range batch {
+		for i := range batch[t2] {
+			if e := math.Abs(got[t2][i] - batch[t2][i]); e > 1e-3 {
+				t.Fatalf("PMC bound violated: %v", e)
+			}
+		}
+	}
+}
+
+func TestSwingOnLinearSeries(t *testing.T) {
+	bs, n := 40, 300
+	batch := make([][]float64, bs)
+	for t2 := range batch {
+		snap := make([]float64, n)
+		for i := range snap {
+			snap[i] = float64(i) + 0.05*float64(t2) // linear in time
+		}
+		batch[t2] = snap
+	}
+	c := &mdb.Compressor{}
+	blk, err := c.CompressSeries(batch, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One Swing segment per atom ≈ 19 bytes.
+	if len(blk) > n*30 {
+		t.Errorf("linear series: %d B for %d atoms", len(blk), n)
+	}
+	got, err := c.DecompressSeries(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range batch {
+		for i := range batch[t2] {
+			if e := math.Abs(got[t2][i] - batch[t2][i]); e > 1e-4 {
+				t.Fatalf("Swing bound violated: %v at (%d,%d)", e, t2, i)
+			}
+		}
+	}
+}
+
+func TestGorillaFallbackIsLossless(t *testing.T) {
+	// Erratic series forces Gorilla: reconstruction must be bit-exact.
+	batch := [][]float64{
+		{1.1, -5, math.Pi},
+		{-7.3, 100, 2.5},
+		{42, -0.001, 1e10},
+	}
+	c := &mdb.Compressor{}
+	blk, err := c.CompressSeries(batch, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DecompressSeries(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range batch {
+		for i := range batch[t2] {
+			if math.Abs(got[t2][i]-batch[t2][i]) > 1e-12 {
+				t.Fatalf("Gorilla fallback lossy at (%d,%d): %v vs %v", t2, i, got[t2][i], batch[t2][i])
+			}
+		}
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	c := &mdb.Compressor{}
+	blk, err := c.CompressSeries([][]float64{{1, 2}, {3, 4}}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, len(blk) - 2} {
+		if _, err := c.DecompressSeries(blk[:cut]); err == nil {
+			t.Errorf("prefix %d accepted", cut)
+		}
+	}
+}

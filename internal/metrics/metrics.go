@@ -1,0 +1,349 @@
+// Package metrics implements the evaluation metrics of the paper's §VII:
+// compression ratio, bit rate, PSNR, NRMSE, maximum error, snapshot
+// similarity (Eq. 2), value histograms (Fig 4) and the radial distribution
+// function g(r) used for the physics-fidelity study (Fig 14).
+package metrics
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLength is returned when paired arrays disagree in length.
+var ErrLength = errors.New("metrics: length mismatch")
+
+// CompressionRatio returns originalBytes / compressedBytes.
+func CompressionRatio(originalBytes, compressedBytes int64) float64 {
+	if compressedBytes <= 0 {
+		return math.Inf(1)
+	}
+	return float64(originalBytes) / float64(compressedBytes)
+}
+
+// BitRate returns the average compressed bits per data point given the
+// original element count.
+func BitRate(compressedBytes int64, numValues int) float64 {
+	if numValues <= 0 {
+		return 0
+	}
+	return float64(compressedBytes) * 8 / float64(numValues)
+}
+
+// ErrorStats aggregates the distortion metrics of a lossy reconstruction.
+type ErrorStats struct {
+	// MaxError is max |orig−recon|.
+	MaxError float64
+	// MSE is the mean squared error; RMSE its square root.
+	MSE, RMSE float64
+	// NRMSE is RMSE / value range of the original data.
+	NRMSE float64
+	// PSNR is 20·log10(range) − 10·log10(MSE) in dB.
+	PSNR float64
+	// Range is the original data's value range.
+	Range float64
+	// N counts compared values.
+	N int
+}
+
+// Compare computes error statistics between original and reconstructed
+// value streams of equal length.
+func Compare(orig, recon []float64) (ErrorStats, error) {
+	if len(orig) != len(recon) {
+		return ErrorStats{}, ErrLength
+	}
+	var st ErrorStats
+	if len(orig) == 0 {
+		return st, nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var sum2 float64
+	for i := range orig {
+		if orig[i] < lo {
+			lo = orig[i]
+		}
+		if orig[i] > hi {
+			hi = orig[i]
+		}
+		d := orig[i] - recon[i]
+		if a := math.Abs(d); a > st.MaxError {
+			st.MaxError = a
+		}
+		sum2 += d * d
+	}
+	st.N = len(orig)
+	st.MSE = sum2 / float64(st.N)
+	st.RMSE = math.Sqrt(st.MSE)
+	st.Range = hi - lo
+	if st.Range > 0 {
+		st.NRMSE = st.RMSE / st.Range
+		if st.MSE > 0 {
+			st.PSNR = 20*math.Log10(st.Range) - 10*math.Log10(st.MSE)
+		} else {
+			st.PSNR = math.Inf(1)
+		}
+	} else if st.MSE == 0 {
+		st.PSNR = math.Inf(1)
+	}
+	return st, nil
+}
+
+// CompareFrames flattens per-snapshot slices and computes error statistics
+// over the whole series.
+func CompareFrames(orig, recon [][]float64) (ErrorStats, error) {
+	if len(orig) != len(recon) {
+		return ErrorStats{}, ErrLength
+	}
+	var o, r []float64
+	for i := range orig {
+		if len(orig[i]) != len(recon[i]) {
+			return ErrorStats{}, ErrLength
+		}
+		o = append(o, orig[i]...)
+		r = append(r, recon[i]...)
+	}
+	return Compare(o, r)
+}
+
+// Similarity implements the paper's Eq. 2: the fraction of data points in
+// snapshot s whose relative deviation from the reference snapshot s0 is
+// below tau.
+func Similarity(s0, s []float64, tau float64) (float64, error) {
+	if len(s0) != len(s) {
+		return 0, ErrLength
+	}
+	if len(s) == 0 {
+		return 0, nil
+	}
+	count := 0
+	for j := range s {
+		den := s[j]
+		if den == 0 {
+			if s0[j] == 0 {
+				count++
+			}
+			continue
+		}
+		if math.Abs((s[j]-s0[j])/den) < tau {
+			count++
+		}
+	}
+	return float64(count) / float64(len(s)), nil
+}
+
+// Histogram bins values into n equal-width bins over their range,
+// returning bin centers and counts (Fig 4's frequency plots).
+func Histogram(values []float64, n int) (centers []float64, counts []int) {
+	if n <= 0 || len(values) == 0 {
+		return nil, nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	centers = make([]float64, n)
+	counts = make([]int, n)
+	w := (hi - lo) / float64(n)
+	if w == 0 {
+		centers[0] = lo
+		counts[0] = len(values)
+		return centers, counts
+	}
+	for i := range centers {
+		centers[i] = lo + (float64(i)+0.5)*w
+	}
+	for _, v := range values {
+		b := int((v - lo) / w)
+		if b >= n {
+			b = n - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return centers, counts
+}
+
+// PeakCount estimates how many distinct peaks a histogram has: bins whose
+// count exceeds frac of the maximum and their immediate neighbors are
+// merged into one peak. It distinguishes the paper's
+// multiple-peak-dominated distributions from uniform ones.
+func PeakCount(counts []int, frac float64) int {
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC == 0 {
+		return 0
+	}
+	thresh := int(frac * float64(maxC))
+	peaks := 0
+	inPeak := false
+	for _, c := range counts {
+		if c > thresh {
+			if !inPeak {
+				peaks++
+				inPeak = true
+			}
+		} else {
+			inPeak = false
+		}
+	}
+	return peaks
+}
+
+// RDF computes the radial distribution function g(r) of one frame in a
+// periodic cubic box of edge box: bins pair distances up to rMax into n
+// bins and normalizes by the ideal-gas expectation, so g(r)→1 at large r
+// for uncorrelated particles.
+func RDF(x, y, z []float64, box float64, rMax float64, n int) (r []float64, g []float64, err error) {
+	np := len(x)
+	if len(y) != np || len(z) != np {
+		return nil, nil, ErrLength
+	}
+	if np < 2 || n <= 0 || rMax <= 0 || box <= 0 {
+		return nil, nil, errors.New("metrics: invalid RDF parameters")
+	}
+	if rMax > box/2 {
+		rMax = box / 2 // minimum image validity limit
+	}
+	dr := rMax / float64(n)
+	counts := make([]float64, n)
+
+	// Cell-list accelerated pair search.
+	nc := int(box / rMax)
+	if nc < 1 {
+		nc = 1
+	}
+	if nc > 40 {
+		nc = 40
+	}
+	cw := box / float64(nc)
+	cellOf := func(i int) int {
+		cx := int(wrapCoord(x[i], box) / cw)
+		cy := int(wrapCoord(y[i], box) / cw)
+		cz := int(wrapCoord(z[i], box) / cw)
+		if cx >= nc {
+			cx = nc - 1
+		}
+		if cy >= nc {
+			cy = nc - 1
+		}
+		if cz >= nc {
+			cz = nc - 1
+		}
+		return (cx*nc+cy)*nc + cz
+	}
+	head := make([]int, nc*nc*nc)
+	for i := range head {
+		head[i] = -1
+	}
+	next := make([]int, np)
+	for i := 0; i < np; i++ {
+		c := cellOf(i)
+		next[i] = head[c]
+		head[c] = i
+	}
+	rMax2 := rMax * rMax
+	visit := func(i, j int) {
+		dx := mi(x[i]-x[j], box)
+		dy := mi(y[i]-y[j], box)
+		dz := mi(z[i]-z[j], box)
+		r2 := dx*dx + dy*dy + dz*dz
+		if r2 < rMax2 && r2 > 0 {
+			b := int(math.Sqrt(r2) / dr)
+			if b < n {
+				counts[b] += 2 // each pair contributes to both particles
+			}
+		}
+	}
+	seen := map[[2]int]bool{}
+	for cx := 0; cx < nc; cx++ {
+		for cy := 0; cy < nc; cy++ {
+			for cz := 0; cz < nc; cz++ {
+				c := (cx*nc+cy)*nc + cz
+				for i := head[c]; i >= 0; i = next[i] {
+					for j := next[i]; j >= 0; j = next[j] {
+						visit(i, j)
+					}
+				}
+				for dx := -1; dx <= 1; dx++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dz := -1; dz <= 1; dz++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							ox := ((cx+dx)%nc + nc) % nc
+							oy := ((cy+dy)%nc + nc) % nc
+							oz := ((cz+dz)%nc + nc) % nc
+							o := (ox*nc+oy)*nc + oz
+							if o <= c {
+								continue
+							}
+							key := [2]int{c, o}
+							if seen[key] {
+								continue
+							}
+							seen[key] = true
+							for i := head[c]; i >= 0; i = next[i] {
+								for j := head[o]; j >= 0; j = next[j] {
+									visit(i, j)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	rho := float64(np) / (box * box * box)
+	r = make([]float64, n)
+	g = make([]float64, n)
+	for b := 0; b < n; b++ {
+		rLo := float64(b) * dr
+		rHi := rLo + dr
+		shell := 4.0 / 3.0 * math.Pi * (rHi*rHi*rHi - rLo*rLo*rLo)
+		ideal := rho * shell * float64(np)
+		r[b] = rLo + dr/2
+		if ideal > 0 {
+			g[b] = counts[b] / ideal
+		}
+	}
+	return r, g, nil
+}
+
+func wrapCoord(v, box float64) float64 {
+	v = math.Mod(v, box)
+	if v < 0 {
+		v += box
+	}
+	return v
+}
+
+func mi(d, l float64) float64 {
+	return d - l*math.Round(d/l)
+}
+
+// RDFDistance returns the mean absolute difference between two g(r) curves
+// of equal length — the scalar used to rank compressors in Fig 14.
+func RDFDistance(g1, g2 []float64) (float64, error) {
+	if len(g1) != len(g2) {
+		return 0, ErrLength
+	}
+	if len(g1) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range g1 {
+		sum += math.Abs(g1[i] - g2[i])
+	}
+	return sum / float64(len(g1)), nil
+}

@@ -1,0 +1,89 @@
+// Package predictor provides the data-prediction primitives shared by MDZ
+// and the SZ-family baselines (paper §III-B, §VI): spatial Lorenzo
+// predictors, temporal previous-snapshot prediction, the snapshot-0
+// (initial-time-based) prediction that powers MT, and the level-centroid
+// prediction that powers VQ.
+//
+// All predictors operate on *reconstructed* (decompressed) values, never on
+// originals, so compressor and decompressor stay in lock-step and error
+// never accumulates beyond the bound.
+package predictor
+
+import "math"
+
+// Lorenzo1D predicts a value from its immediate predecessor in the same
+// snapshot (the classic 1-D Lorenzo predictor). prev is the reconstructed
+// preceding value; the first element of a stream has no predecessor and is
+// conventionally predicted as 0.
+func Lorenzo1D(prev float64) float64 { return prev }
+
+// Lorenzo2D predicts d[i][j] from reconstructed neighbors in a 2-D layout
+// (snapshots × particles): left (same snapshot, previous particle), up
+// (previous snapshot, same particle) and diagonal (previous snapshot,
+// previous particle): left + up − diag.
+func Lorenzo2D(left, up, diag float64) float64 { return left + up - diag }
+
+// Time predicts a value from the reconstructed value of the same particle
+// in the previous snapshot (paper's time-based predictor).
+func Time(prevSnapshot float64) float64 { return prevSnapshot }
+
+// Snapshot0 predicts a value from the reconstructed value of the same
+// particle in the initial snapshot of the whole run (MT's
+// initial-time-based prediction, paper §VI-B).
+func Snapshot0(initial float64) float64 { return initial }
+
+// Level computes the level index and centroid prediction of the VQ
+// predictor for value d under the equal-distant level model (λ, μ):
+// L = round((d−μ)/λ), V = μ + λ·L (paper Algorithm 1, lines 4-5).
+func Level(d, lambda, mu float64) (level int64, centroid float64) {
+	l := math.Round((d - mu) / lambda)
+	// Clamp to a sane integer range; callers route pathological values to
+	// outlier storage anyway.
+	if l > math.MaxInt32 {
+		l = math.MaxInt32
+	} else if l < math.MinInt32 {
+		l = math.MinInt32
+	}
+	level = int64(l)
+	return level, mu + lambda*float64(level)
+}
+
+// Centroid returns the level-centroid value for an already-known level
+// index (used on the decode path).
+func Centroid(level int64, lambda, mu float64) float64 {
+	return mu + lambda*float64(level)
+}
+
+// MeanAbsErr1D measures the mean absolute prediction error of the 1-D
+// Lorenzo predictor over values (Table II's spatial column).
+func MeanAbsErr1D(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 1; i < len(values); i++ {
+		sum += math.Abs(values[i] - values[i-1])
+	}
+	return sum / float64(len(values)-1)
+}
+
+// MeanAbsErrSnapshot0 measures the mean absolute prediction error of
+// snapshot-0 prediction: |cur[i] − initial[i]| averaged over particles
+// (Table II's initial-time column).
+func MeanAbsErrSnapshot0(cur, initial []float64) float64 {
+	n := len(cur)
+	if n == 0 || len(initial) != n {
+		return math.NaN()
+	}
+	var sum float64
+	for i := range cur {
+		sum += math.Abs(cur[i] - initial[i])
+	}
+	return sum / float64(n)
+}
+
+// MeanAbsErrTime measures the mean absolute prediction error of
+// previous-snapshot prediction.
+func MeanAbsErrTime(cur, prev []float64) float64 {
+	return MeanAbsErrSnapshot0(cur, prev)
+}

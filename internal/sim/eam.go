@@ -1,0 +1,165 @@
+package sim
+
+import "math"
+
+// EAM is a simple embedded-atom-method potential for metals, the class of
+// potential the paper's Copper/Pt/tungsten runs actually used (LJ is only a
+// qualitative stand-in). The analytic form follows the common
+// Finnis-Sinclair style:
+//
+//	U = Σ_i F(ρ_i) + ½ Σ_{i≠j} φ(r_ij)
+//	ρ_i = Σ_{j≠i} ψ(r_ij)            (host electron density at atom i)
+//	F(ρ)  = −A·√ρ                    (embedding energy)
+//	ψ(r)  = (1 − r/Rc)²              (density contribution, smooth to 0 at Rc)
+//	φ(r)  = B·(1 − r/Rp)²  for r<Rp  (short-range pair repulsion)
+//
+// Both terms and their derivatives vanish smoothly at their cutoffs, so the
+// dynamics conserve energy without shifting tricks.
+type EAM struct {
+	// A scales the embedding (cohesion) term; B the pair repulsion.
+	A, B float64
+	// Rc is the density cutoff; Rp the (shorter) repulsion cutoff.
+	Rc, Rp float64
+}
+
+// NewEAM returns an EAM potential with cohesion A, repulsion B, density
+// cutoff rc and repulsion cutoff rp (rp <= rc).
+func NewEAM(a, b, rc, rp float64) *EAM {
+	if rp > rc {
+		rp = rc
+	}
+	return &EAM{A: a, B: b, Rc: rc, Rp: rp}
+}
+
+// density returns ψ(r²) and its derivative dψ/dr divided by r.
+func (e *EAM) density(r2 float64) (psi, dpsiOverR float64) {
+	if r2 >= e.Rc*e.Rc || r2 == 0 {
+		return 0, 0
+	}
+	r := math.Sqrt(r2)
+	t := 1 - r/e.Rc
+	psi = t * t
+	// dψ/dr = −2t/Rc; divided by r for force scaling.
+	dpsiOverR = -2 * t / (e.Rc * r)
+	return psi, dpsiOverR
+}
+
+// pair returns φ(r²) and dφ/dr divided by r.
+func (e *EAM) pair(r2 float64) (phi, dphiOverR float64) {
+	if r2 >= e.Rp*e.Rp || r2 == 0 {
+		return 0, 0
+	}
+	r := math.Sqrt(r2)
+	t := 1 - r/e.Rp
+	phi = e.B * t * t
+	dphiOverR = -2 * e.B * t / (e.Rp * r)
+	return phi, dphiOverR
+}
+
+// embed returns F(ρ) and F′(ρ).
+func (e *EAM) embed(rho float64) (f, fp float64) {
+	if rho <= 0 {
+		return 0, 0
+	}
+	s := math.Sqrt(rho)
+	return -e.A * s, -e.A / (2 * s)
+}
+
+// ComputeEAM fills forces for an EAM system and returns the potential
+// energy. It runs two cell-list passes: one accumulating densities, one
+// accumulating forces with the embedding derivatives.
+func ComputeEAM(e *EAM, box Box, pos []Vec3, force []Vec3) float64 {
+	n := len(pos)
+	for i := range force {
+		force[i] = Vec3{}
+	}
+	rho := make([]float64, n)
+	cl := newCellList(box, pos, e.Rc)
+	// Pass 1: densities and pair energy.
+	var u float64
+	cl.forEachPair(pos, func(i, j int) {
+		r2 := box.Delta(pos[i], pos[j]).Norm2()
+		if psi, _ := e.density(r2); psi > 0 {
+			rho[i] += psi
+			rho[j] += psi
+		}
+		if phi, _ := e.pair(r2); phi > 0 {
+			u += phi
+		}
+	})
+	fp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		fi, fpi := e.embed(rho[i])
+		u += fi
+		fp[i] = fpi
+	}
+	// Pass 2: forces. dU/dr_ij includes φ′ plus (F′_i + F′_j)·ψ′.
+	cl.forEachPair(pos, func(i, j int) {
+		d := box.Delta(pos[i], pos[j])
+		r2 := d.Norm2()
+		_, dphi := e.pair(r2)
+		_, dpsi := e.density(r2)
+		g := -(dphi + (fp[i]+fp[j])*dpsi) // force magnitude / r
+		if g != 0 {
+			fv := d.Scale(g)
+			force[i] = force[i].Add(fv)
+			force[j] = force[j].Sub(fv)
+		}
+	})
+	return u
+}
+
+// EAMSystem wraps a System whose forces come from an EAM potential instead
+// of the LJ pair term. Step/thermostat logic is inherited by embedding.
+type EAMSystem struct {
+	*System
+	Pot *EAM
+}
+
+// NewEAMSystem builds an EAM-driven system over the positions.
+func NewEAMSystem(box Box, pos []Vec3, pot *EAM, seed int64) *EAMSystem {
+	s := NewSystem(box, pos, seed)
+	es := &EAMSystem{System: s, Pot: pot}
+	return es
+}
+
+// ComputeForces overrides the LJ force evaluation with EAM.
+func (es *EAMSystem) ComputeForces() float64 {
+	u := ComputeEAM(es.Pot, es.Box, es.Pos, es.Force)
+	es.potential = u
+	return u
+}
+
+// Step advances one velocity-Verlet step under the EAM potential.
+func (es *EAMSystem) Step() {
+	if es.steps == 0 {
+		es.ComputeForces()
+	}
+	dt := es.Dt
+	half := 0.5 * dt
+	for i := range es.Pos {
+		if es.Frozen != nil && es.Frozen[i] {
+			continue
+		}
+		inv := 1 / es.Mass[i]
+		es.Vel[i] = es.Vel[i].Add(es.Force[i].Scale(half * inv))
+		es.Pos[i] = es.Box.Wrap(es.Pos[i].Add(es.Vel[i].Scale(dt)))
+	}
+	es.ComputeForces()
+	for i := range es.Pos {
+		if es.Frozen != nil && es.Frozen[i] {
+			continue
+		}
+		inv := 1 / es.Mass[i]
+		es.Vel[i] = es.Vel[i].Add(es.Force[i].Scale(half * inv))
+	}
+	es.applyThermostat()
+	es.steps++
+}
+
+// Run advances n EAM steps.
+func (es *EAMSystem) Run(n int) {
+	for i := 0; i < n; i++ {
+		es.Step()
+	}
+}

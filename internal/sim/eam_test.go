@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func testEAM() *EAM { return NewEAM(1.2, 4.0, 2.2, 1.6) }
+
+// eamBrute computes EAM energy and forces with direct loops.
+func eamBrute(e *EAM, box Box, pos []Vec3) ([]Vec3, float64) {
+	n := len(pos)
+	rho := make([]float64, n)
+	var u float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			r2 := box.Delta(pos[i], pos[j]).Norm2()
+			psi, _ := e.density(r2)
+			rho[i] += psi
+			rho[j] += psi
+			phi, _ := e.pair(r2)
+			u += phi
+		}
+	}
+	fp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		fi, fpi := e.embed(rho[i])
+		u += fi
+		fp[i] = fpi
+	}
+	force := make([]Vec3, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := box.Delta(pos[i], pos[j])
+			r2 := d.Norm2()
+			_, dphi := e.pair(r2)
+			_, dpsi := e.density(r2)
+			g := -(dphi + (fp[i]+fp[j])*dpsi)
+			fv := d.Scale(g)
+			force[i] = force[i].Add(fv)
+			force[j] = force[j].Sub(fv)
+		}
+	}
+	return force, u
+}
+
+func TestEAMCellListMatchesBrute(t *testing.T) {
+	pos, box := FCC(3, 3, 3, 1.7)
+	e := testEAM()
+	force := make([]Vec3, len(pos))
+	u := ComputeEAM(e, box, pos, force)
+	bForce, bu := eamBrute(e, box, pos)
+	if math.Abs(u-bu) > 1e-9*(1+math.Abs(bu)) {
+		t.Fatalf("energy %v != %v", u, bu)
+	}
+	for i := range pos {
+		if force[i].Sub(bForce[i]).Norm() > 1e-9*(1+bForce[i].Norm()) {
+			t.Fatalf("atom %d force %v != %v", i, force[i], bForce[i])
+		}
+	}
+}
+
+func TestEAMForceIsEnergyGradient(t *testing.T) {
+	// Finite-difference check: F = -dU/dx on a random atom. The box must
+	// exceed 2×Rc so the minimum image is unique and U stays smooth.
+	pos, box := FCC(3, 3, 3, 1.7)
+	e := testEAM()
+	force := make([]Vec3, len(pos))
+	ComputeEAM(e, box, pos, force)
+	const h = 1e-6
+	for _, idx := range []int{0, 7, 13} {
+		orig := pos[idx].X
+		pos[idx].X = orig + h
+		_, uPlus := eamBrute(e, box, pos)
+		pos[idx].X = orig - h
+		_, uMinus := eamBrute(e, box, pos)
+		pos[idx].X = orig
+		want := -(uPlus - uMinus) / (2 * h)
+		if math.Abs(force[idx].X-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("atom %d: Fx=%v, -dU/dx=%v", idx, force[idx].X, want)
+		}
+	}
+}
+
+func TestEAMCohesion(t *testing.T) {
+	// The embedding term makes a crystal's energy negative (bound state).
+	pos, box := FCC(3, 3, 3, 1.62)
+	e := testEAM()
+	force := make([]Vec3, len(pos))
+	if u := ComputeEAM(e, box, pos, force); u >= 0 {
+		t.Errorf("crystal energy %v, want negative (cohesive)", u)
+	}
+}
+
+func TestEAMNVEConservation(t *testing.T) {
+	pos, box := FCC(3, 3, 3, 1.62)
+	es := NewEAMSystem(box, pos, testEAM(), 5)
+	es.Dt = 0.002
+	es.InitVelocities(0.05)
+	es.ComputeForces()
+	e0 := es.TotalEnergy()
+	es.Run(300)
+	e1 := es.TotalEnergy()
+	if drift := math.Abs(e1-e0) / math.Abs(e0); drift > 5e-3 {
+		t.Errorf("EAM NVE drift %.2e (E0=%v E1=%v)", drift, e0, e1)
+	}
+}
+
+func TestEAMCrystalStable(t *testing.T) {
+	// A cold EAM crystal must keep its atoms near lattice sites.
+	pos, box := FCC(3, 3, 3, 1.62)
+	start := append([]Vec3(nil), pos...)
+	es := NewEAMSystem(box, pos, testEAM(), 6)
+	es.Thermo = Langevin
+	es.Temp = 0.05
+	es.Gamma = 2
+	es.Dt = 0.002
+	es.InitVelocities(0.05)
+	es.Run(500)
+	for i, p := range es.Pos {
+		if d := es.Box.Delta(p, start[i]).Norm(); d > 0.5 {
+			t.Fatalf("atom %d drifted %v from its site", i, d)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+// cellList is a linked-cell spatial index for O(N) short-range pair
+// iteration under periodic or open boundaries.
+type cellList struct {
+	box        Box
+	nx, ny, nz int
+	inv        Vec3  // cells per unit length
+	head       []int // first atom index per cell, -1 if empty
+	next       []int // next atom in the same cell, -1 terminates
+}
+
+// newCellList bins positions into cells of edge >= cutoff.
+func newCellList(box Box, positions []Vec3, cutoff float64) *cellList {
+	nx := int(box.L.X / cutoff)
+	ny := int(box.L.Y / cutoff)
+	nz := int(box.L.Z / cutoff)
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	if nz < 1 {
+		nz = 1
+	}
+	c := &cellList{
+		box: box, nx: nx, ny: ny, nz: nz,
+		inv:  Vec3{float64(nx) / box.L.X, float64(ny) / box.L.Y, float64(nz) / box.L.Z},
+		head: make([]int, nx*ny*nz),
+		next: make([]int, len(positions)),
+	}
+	for i := range c.head {
+		c.head[i] = -1
+	}
+	for i, p := range positions {
+		idx := c.cellIndex(box.Wrap(p))
+		c.next[i] = c.head[idx]
+		c.head[idx] = i
+	}
+	return c
+}
+
+func (c *cellList) cellIndex(p Vec3) int {
+	ix := clampCell(int(p.X*c.inv.X), c.nx)
+	iy := clampCell(int(p.Y*c.inv.Y), c.ny)
+	iz := clampCell(int(p.Z*c.inv.Z), c.nz)
+	return (ix*c.ny+iy)*c.nz + iz
+}
+
+func clampCell(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// forEachPair invokes fn once per unordered atom pair whose cells are
+// adjacent (including the same cell); distance filtering is the caller's
+// job. Each unordered cell pair is visited exactly once even when periodic
+// wrapping with few cells per axis maps several stencil directions onto the
+// same neighbor.
+func (c *cellList) forEachPair(positions []Vec3, fn func(i, j int)) {
+	var seen map[int]bool
+	small := c.nx <= 2 || c.ny <= 2 || c.nz <= 2
+	for ix := 0; ix < c.nx; ix++ {
+		for iy := 0; iy < c.ny; iy++ {
+			for iz := 0; iz < c.nz; iz++ {
+				cell := (ix*c.ny+iy)*c.nz + iz
+				// Pairs within the cell.
+				for i := c.head[cell]; i >= 0; i = c.next[i] {
+					for j := c.next[i]; j >= 0; j = c.next[j] {
+						fn(i, j)
+					}
+				}
+				// Pairs with neighbor cells. The full 26-cell stencil with a
+				// cell < other guard visits each unordered cell pair once;
+				// wrapped duplicates are suppressed via the seen set.
+				if small {
+					seen = map[int]bool{}
+				}
+				for dx := -1; dx <= 1; dx++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dz := -1; dz <= 1; dz++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							jx, jy, jz := ix+dx, iy+dy, iz+dz
+							if c.box.Periodic {
+								jx = modCell(jx, c.nx)
+								jy = modCell(jy, c.ny)
+								jz = modCell(jz, c.nz)
+							} else if jx < 0 || jx >= c.nx || jy < 0 || jy >= c.ny || jz < 0 || jz >= c.nz {
+								continue
+							}
+							other := (jx*c.ny+jy)*c.nz + jz
+							if other <= cell {
+								continue
+							}
+							if small {
+								if seen[other] {
+									continue
+								}
+								seen[other] = true
+							}
+							for i := c.head[cell]; i >= 0; i = c.next[i] {
+								for j := c.head[other]; j >= 0; j = c.next[j] {
+									fn(i, j)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func modCell(d, n int) int {
+	m := d % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}

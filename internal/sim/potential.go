@@ -1,0 +1,106 @@
+package sim
+
+import "math"
+
+// LJ is the Lennard-Jones 12-6 pair potential
+// U(r) = 4ε[(σ/r)¹² − (σ/r)⁶], truncated and shifted at Cutoff so the
+// energy is continuous there.
+type LJ struct {
+	Epsilon, Sigma, Cutoff float64
+	shift                  float64 // U(cutoff) before shifting
+}
+
+// NewLJ returns a truncated-and-shifted LJ potential. A non-positive cutoff
+// defaults to 2.5σ (the LAMMPS LJ-benchmark convention).
+func NewLJ(epsilon, sigma, cutoff float64) *LJ {
+	if cutoff <= 0 {
+		cutoff = 2.5 * sigma
+	}
+	lj := &LJ{Epsilon: epsilon, Sigma: sigma, Cutoff: cutoff}
+	sr6 := math.Pow(sigma/cutoff, 6)
+	lj.shift = 4 * epsilon * (sr6*sr6 - sr6)
+	return lj
+}
+
+// EnergyForce returns the pair energy and the magnitude factor g such that
+// the force on atom i from atom j at displacement d (i−j) is d·g. Returns
+// zeros beyond the cutoff.
+func (lj *LJ) EnergyForce(r2 float64) (u, g float64) {
+	if r2 >= lj.Cutoff*lj.Cutoff || r2 == 0 {
+		return 0, 0
+	}
+	s2 := lj.Sigma * lj.Sigma / r2
+	s6 := s2 * s2 * s2
+	s12 := s6 * s6
+	u = 4*lj.Epsilon*(s12-s6) - lj.shift
+	// F(r) = 24ε(2 s12 − s6)/r; divide by r again to scale the displacement.
+	g = 24 * lj.Epsilon * (2*s12 - s6) / r2
+	return u, g
+}
+
+// Bond is a harmonic bond U = ½k(r−r0)² between atoms I and J.
+type Bond struct {
+	I, J  int
+	K, R0 float64
+}
+
+// Angle is a harmonic angle U = ½k(θ−θ0)² on the triplet I–J–K (J is the
+// vertex).
+type Angle struct {
+	I, J, K    int
+	KTheta, T0 float64
+}
+
+// bondForces accumulates harmonic bond energy and forces.
+func bondForces(box Box, pos []Vec3, bonds []Bond, f []Vec3) float64 {
+	var u float64
+	for _, b := range bonds {
+		d := box.Delta(pos[b.I], pos[b.J])
+		r := d.Norm()
+		if r == 0 {
+			continue
+		}
+		dr := r - b.R0
+		u += 0.5 * b.K * dr * dr
+		g := -b.K * dr / r
+		fv := d.Scale(g)
+		f[b.I] = f[b.I].Add(fv)
+		f[b.J] = f[b.J].Sub(fv)
+	}
+	return u
+}
+
+// angleForces accumulates harmonic angle energy and forces.
+func angleForces(box Box, pos []Vec3, angles []Angle, f []Vec3) float64 {
+	var u float64
+	for _, a := range angles {
+		rij := box.Delta(pos[a.I], pos[a.J])
+		rkj := box.Delta(pos[a.K], pos[a.J])
+		ri, rk := rij.Norm(), rkj.Norm()
+		if ri == 0 || rk == 0 {
+			continue
+		}
+		cosT := rij.Dot(rkj) / (ri * rk)
+		if cosT > 1 {
+			cosT = 1
+		} else if cosT < -1 {
+			cosT = -1
+		}
+		theta := math.Acos(cosT)
+		dt := theta - a.T0
+		u += 0.5 * a.KTheta * dt * dt
+		sinT := math.Sqrt(1 - cosT*cosT)
+		if sinT < 1e-8 {
+			continue // collinear: force direction undefined, skip
+		}
+		// F_i = −∇_i U = (k·Δθ/sinθ)·∂cosθ/∂r_i.
+		coef := a.KTheta * dt / sinT
+		// dcosθ/dri and dcosθ/drk
+		fi := rkj.Scale(1 / (ri * rk)).Sub(rij.Scale(cosT / (ri * ri))).Scale(coef)
+		fk := rij.Scale(1 / (ri * rk)).Sub(rkj.Scale(cosT / (rk * rk))).Scale(coef)
+		f[a.I] = f[a.I].Add(fi)
+		f[a.K] = f[a.K].Add(fk)
+		f[a.J] = f[a.J].Sub(fi.Add(fk))
+	}
+	return u
+}

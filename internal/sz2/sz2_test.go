@@ -1,0 +1,87 @@
+package sz2_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mdz/mdz/internal/codec"
+	"github.com/mdz/mdz/internal/codec/codectest"
+	"github.com/mdz/mdz/internal/sz2"
+)
+
+func TestConformance2D(t *testing.T) {
+	codectest.RunConformance(t, codec.FromBatch(&sz2.Compressor{Mode: sz2.Mode2D}))
+}
+
+func TestConformance1D(t *testing.T) {
+	codectest.RunConformance(t, codec.FromBatch(&sz2.Compressor{Mode: sz2.Mode1D}))
+}
+
+func TestNames(t *testing.T) {
+	if (&sz2.Compressor{}).Name() != "SZ2-2D" {
+		t.Error("default mode should be 2D")
+	}
+	if (&sz2.Compressor{Mode: sz2.Mode1D}).Name() != "SZ2-1D" {
+		t.Error("1D name")
+	}
+}
+
+// Table IV's shape: on data smooth in both space and time, 2D mode must
+// compress better than 1D mode.
+func Test2DBeats1DOnSmoothData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bs, n := 10, 3000
+	pos := make([]float64, n)
+	for i := range pos {
+		// Spatially smooth: neighboring particles have close coordinates.
+		pos[i] = float64(i) * 0.01
+	}
+	batch := make([][]float64, bs)
+	for t2 := range batch {
+		snap := make([]float64, n)
+		for i := range snap {
+			pos[i] += rng.NormFloat64() * 0.001
+			snap[i] = pos[i]
+		}
+		batch[t2] = snap
+	}
+	c2 := &sz2.Compressor{Mode: sz2.Mode2D}
+	c1 := &sz2.Compressor{Mode: sz2.Mode1D}
+	b2, err := c2.CompressSeries(batch, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := c1.CompressSeries(batch, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b2) >= len(b1) {
+		t.Errorf("2D (%d B) should beat 1D (%d B) on smooth data", len(b2), len(b1))
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	c := &sz2.Compressor{}
+	blk, err := c.CompressSeries([][]float64{{1, 2, 3}}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, len(blk) / 2} {
+		if _, err := c.DecompressSeries(blk[:cut]); err == nil {
+			t.Errorf("prefix %d accepted", cut)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	c := &sz2.Compressor{}
+	if _, err := c.CompressSeries(nil, 1e-3); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := c.CompressSeries([][]float64{{1}, {1, 2}}, 1e-3); err == nil {
+		t.Error("ragged batch accepted")
+	}
+	if _, err := c.CompressSeries([][]float64{{1}}, 0); err == nil {
+		t.Error("zero bound accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package sz3_test
+
+import (
+	"testing"
+
+	"github.com/mdz/mdz/internal/codec"
+	"github.com/mdz/mdz/internal/codec/codectest"
+	"github.com/mdz/mdz/internal/sz3"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.RunConformance(t, codec.FromBatch(&sz3.Compressor{}))
+}
+
+func TestName(t *testing.T) {
+	if (&sz3.Compressor{}).Name() != "SZ3i" {
+		t.Error("name")
+	}
+}
+
+func TestInterpolationHelpsSmoothTimeSeries(t *testing.T) {
+	// Smooth per-particle trajectories: interpolation residuals vanish.
+	bs, n := 32, 500
+	batch := make([][]float64, bs)
+	for t2 := range batch {
+		snap := make([]float64, n)
+		for i := range snap {
+			snap[i] = float64(i)*3 + 0.1*float64(t2)*float64(t2)/float64(bs)
+		}
+		batch[t2] = snap
+	}
+	c := &sz3.Compressor{}
+	blk, err := c.CompressSeries(batch, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk) > bs*n {
+		t.Errorf("smooth series compressed to %d B for %d values", len(blk), bs*n)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	c := &sz3.Compressor{}
+	blk, err := c.CompressSeries([][]float64{{1, 2}, {1.5, 2.5}, {2, 3}}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, len(blk) - 2} {
+		if _, err := c.DecompressSeries(blk[:cut]); err == nil {
+			t.Errorf("prefix %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package sz3
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInterpOrderCoversAllIndices(t *testing.T) {
+	for m := 1; m <= 64; m++ {
+		order, pa, pb := interpOrder(m)
+		if len(order) != m {
+			t.Fatalf("m=%d: schedule covers %d indices", m, len(order))
+		}
+		seen := make([]bool, m)
+		for _, idx := range order {
+			if idx < 0 || idx >= m {
+				t.Fatalf("m=%d: index %d out of range", m, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("m=%d: index %d scheduled twice", m, idx)
+			}
+			// Predictors must already be reconstructed (appear earlier).
+			for _, p := range []int{pa[idx], pb[idx]} {
+				if p >= 0 && !seen[p] {
+					t.Fatalf("m=%d: index %d predicted from unseen %d", m, idx, p)
+				}
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestInterpOrderProperty(t *testing.T) {
+	f := func(mRaw uint8) bool {
+		m := int(mRaw)%200 + 1
+		order, _, _ := interpOrder(m)
+		if len(order) != m {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range order {
+			if seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

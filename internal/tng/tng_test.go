@@ -1,0 +1,75 @@
+package tng_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mdz/mdz/internal/codec"
+	"github.com/mdz/mdz/internal/codec/codectest"
+	"github.com/mdz/mdz/internal/tng"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.RunConformance(t, codec.FromBatch(&tng.Compressor{}))
+}
+
+func TestAtomLimitEmulation(t *testing.T) {
+	c := &tng.Compressor{LimitAtoms: 10}
+	big := [][]float64{make([]float64, 11)}
+	if _, err := c.CompressSeries(big, 1e-3); !errors.Is(err, tng.ErrUnsupported) {
+		t.Errorf("expected ErrUnsupported, got %v", err)
+	}
+	ok := [][]float64{make([]float64, 10)}
+	if _, err := c.CompressSeries(ok, 1e-3); err != nil {
+		t.Errorf("at-limit frame rejected: %v", err)
+	}
+	if tng.MaxAtoms != 2_000_000 {
+		t.Errorf("MaxAtoms = %d; the paper's TNG handled Copper-A (1.08M) but not Pt (2.37M)", tng.MaxAtoms)
+	}
+}
+
+func TestInterFrameDeltaHelpsStaticData(t *testing.T) {
+	// Static particles: inter-frame deltas are all zero.
+	n, bs := 3000, 10
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = float64(i%977) * 0.31
+	}
+	batch := make([][]float64, bs)
+	for t2 := range batch {
+		snap := make([]float64, n)
+		copy(snap, base)
+		batch[t2] = snap
+	}
+	c := &tng.Compressor{}
+	blk, err := c.CompressSeries(batch, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk) > bs*n {
+		t.Errorf("static data compressed to only %d B for %d values", len(blk), bs*n)
+	}
+	got, err := c.DecompressSeries(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		d := got[bs-1][i] - base[i]
+		if d > 1e-4 || d < -1e-4 {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	c := &tng.Compressor{}
+	blk, err := c.CompressSeries([][]float64{{1, 2}, {1.1, 2.1}}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, len(blk) - 2} {
+		if _, err := c.DecompressSeries(blk[:cut]); err == nil {
+			t.Errorf("prefix %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,380 @@
+// Package mdz is an error-bounded lossy compressor for molecular-dynamics
+// trajectories and other particle datasets, reproducing "MDZ: An Efficient
+// Error-bounded Lossy Compressor for Molecular Dynamics" (ICDE 2022).
+//
+// MDZ adaptively selects among three MD-specific compression methods —
+// vector-quantization (VQ), vector-quantization + time (VQT) and
+// multi-level time (MT) — exploiting the spatial level-clustering and
+// temporal smoothness characteristic of MD data. Every reconstructed value
+// is guaranteed to be within the configured error bound of the original.
+//
+// # Quick start
+//
+//	frames := ...                                   // []mdz.Frame, one per snapshot
+//	c, _ := mdz.NewCompressor(mdz.Config{ErrorBound: 1e-3})
+//	var blocks [][]byte
+//	for _, batch := range mdz.Batch(frames, 10) {   // buffer size BS = 10
+//		blk, _ := c.CompressBatch(batch)
+//		blocks = append(blocks, blk)
+//	}
+//	d := mdz.NewDecompressor()
+//	for _, blk := range blocks {
+//		batch, _ := d.DecompressBatch(blk)          // within 1e-3 × value range
+//		_ = batch
+//	}
+//
+// One-shot helpers Compress and Decompress handle batching and framing for
+// whole in-memory trajectories.
+package mdz
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"github.com/mdz/mdz/internal/bitstream"
+	"github.com/mdz/mdz/internal/core"
+	"github.com/mdz/mdz/internal/kmeans"
+	"github.com/mdz/mdz/internal/lossless"
+	"github.com/mdz/mdz/internal/quant"
+)
+
+// Frame is one trajectory snapshot: per-axis particle positions of equal
+// length.
+type Frame struct {
+	X, Y, Z []float64
+}
+
+// N reports the frame's particle count.
+func (f Frame) N() int { return len(f.X) }
+
+// Method selects the compression method.
+type Method = core.Method
+
+// Compression methods. ADP (the default) adaptively selects among the other
+// three at runtime and is the paper's recommended configuration.
+const (
+	ADP = core.ADP
+	VQ  = core.VQ
+	VQT = core.VQT
+	MT  = core.MT
+)
+
+// Sequence selects the quantization-code interleaving.
+type Sequence = core.Sequence
+
+// Quantization sequences; Seq2 (particle-major) is the paper's choice.
+const (
+	Seq2 = core.Seq2
+	Seq1 = core.Seq1
+)
+
+// BoundMode selects how Config.ErrorBound is interpreted.
+type BoundMode uint8
+
+// Error-bound modes. ValueRange (the paper's ε) scales the bound by each
+// axis's value range, measured on the first batch; Absolute uses the bound
+// directly.
+const (
+	ValueRange BoundMode = iota
+	Absolute
+)
+
+// DefaultBufferSize is the default batch size BS used by the one-shot
+// helpers.
+const DefaultBufferSize = 10
+
+// Config configures a Compressor.
+type Config struct {
+	// ErrorBound is the error tolerance; interpretation depends on Mode.
+	// Must be positive.
+	ErrorBound float64
+	// Mode selects value-range-relative (default) or absolute bounds.
+	Mode BoundMode
+	// Method selects ADP (default), VQ, VQT or MT.
+	Method Method
+	// QuantScale overrides the linear quantization scale (default 1024).
+	QuantScale int
+	// Sequence overrides the code interleaving (default Seq2).
+	Sequence Sequence
+	// AdaptInterval overrides ADP's re-evaluation period (default 50).
+	AdaptInterval int
+	// BufferSize is the batch size used by the one-shot Compress helper
+	// (default 10). CompressBatch callers control batching themselves.
+	BufferSize int
+	// Parallel compresses the three axes concurrently. Useful on multicore
+	// hosts (the paper's experiments ran on up to 216 cores); output bytes
+	// are identical to sequential mode.
+	Parallel bool
+}
+
+// Compressor compresses trajectory batches. It is stateful: batches must be
+// fed in simulation order, and the matching Decompressor must consume
+// blocks in the same order. A Compressor must not be used from multiple
+// goroutines concurrently (Config.Parallel parallelizes internally).
+type Compressor struct {
+	cfg Config
+	enc [3]*core.Encoder
+}
+
+// NewCompressor validates cfg and returns a Compressor.
+func NewCompressor(cfg Config) (*Compressor, error) {
+	if !(cfg.ErrorBound > 0) {
+		return nil, fmt.Errorf("mdz: ErrorBound must be positive, got %v", cfg.ErrorBound)
+	}
+	if cfg.BufferSize == 0 {
+		cfg.BufferSize = DefaultBufferSize
+	}
+	if cfg.BufferSize < 0 {
+		return nil, fmt.Errorf("mdz: BufferSize must be positive, got %d", cfg.BufferSize)
+	}
+	return &Compressor{cfg: cfg}, nil
+}
+
+// params builds per-axis core parameters; for ValueRange mode the absolute
+// bound is derived from the first batch of that axis.
+func (c *Compressor) params(axis int, firstBatch [][]float64) (core.Params, error) {
+	eb := c.cfg.ErrorBound
+	if c.cfg.Mode == ValueRange {
+		var lo, hi float64
+		first := true
+		for _, snap := range firstBatch {
+			l, h := quant.Range(snap)
+			if first {
+				lo, hi = l, h
+				first = false
+				continue
+			}
+			if l < lo {
+				lo = l
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+		eb = quant.AbsBound(c.cfg.ErrorBound, lo, hi)
+	}
+	return core.Params{
+		ErrorBound:    eb,
+		QuantScale:    c.cfg.QuantScale,
+		Method:        c.cfg.Method,
+		Sequence:      c.cfg.Sequence,
+		AdaptInterval: c.cfg.AdaptInterval,
+		KMeans:        kmeans.Options{Seed: int64(axis) + 1},
+	}, nil
+}
+
+// CompressBatch compresses one buffer of frames into a self-contained block
+// (all three axes). Frames must be non-empty and share a particle count.
+func (c *Compressor) CompressBatch(frames []Frame) ([]byte, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("mdz: empty batch")
+	}
+	n := frames[0].N()
+	for i, f := range frames {
+		if f.N() != n || len(f.Y) != n || len(f.Z) != n {
+			return nil, fmt.Errorf("mdz: frame %d has inconsistent particle count", i)
+		}
+	}
+	for axis := 0; axis < 3; axis++ {
+		if c.enc[axis] == nil {
+			p, err := c.params(axis, axisSeries(frames, axis))
+			if err != nil {
+				return nil, err
+			}
+			enc, err := core.NewEncoder(p)
+			if err != nil {
+				return nil, err
+			}
+			c.enc[axis] = enc
+		}
+	}
+	var blks [3][]byte
+	if c.cfg.Parallel {
+		var wg sync.WaitGroup
+		var errs [3]error
+		for axis := 0; axis < 3; axis++ {
+			wg.Add(1)
+			go func(axis int) {
+				defer wg.Done()
+				blks[axis], errs[axis] = c.enc[axis].EncodeBatch(axisSeries(frames, axis))
+			}(axis)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for axis := 0; axis < 3; axis++ {
+			blk, err := c.enc[axis].EncodeBatch(axisSeries(frames, axis))
+			if err != nil {
+				return nil, err
+			}
+			blks[axis] = blk
+		}
+	}
+	out := []byte{'M', 'D', 'Z', 'S'}
+	for _, blk := range blks {
+		out = bitstream.AppendSection(out, blk)
+	}
+	// Integrity footer: CRC-32C of everything after the magic.
+	out = bitstream.AppendUint32(out, crc32.Checksum(out[4:], crcTable))
+	return out, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Methods reports the concrete per-axis methods currently selected (useful
+// under ADP). Before the first batch it returns zero values.
+func (c *Compressor) Methods() [3]Method {
+	var m [3]Method
+	for i, e := range c.enc {
+		if e != nil {
+			m[i] = e.Method()
+		}
+	}
+	return m
+}
+
+// Stats aggregates per-axis encoder statistics.
+func (c *Compressor) Stats() (raw, compressed int64) {
+	for _, e := range c.enc {
+		if e != nil {
+			raw += e.Stats.RawBytes
+			compressed += e.Stats.CompressedBytes
+		}
+	}
+	return raw, compressed
+}
+
+func axisSeries(frames []Frame, axis int) [][]float64 {
+	out := make([][]float64, len(frames))
+	for i, f := range frames {
+		switch axis {
+		case 0:
+			out[i] = f.X
+		case 1:
+			out[i] = f.Y
+		default:
+			out[i] = f.Z
+		}
+	}
+	return out
+}
+
+// Decompressor reconstructs frames from blocks, in encode order.
+type Decompressor struct {
+	dec [3]*core.Decoder
+}
+
+// NewDecompressor returns a Decompressor with default settings.
+func NewDecompressor() *Decompressor {
+	d := &Decompressor{}
+	for i := range d.dec {
+		d.dec[i] = core.NewDecoder(core.Params{Backend: lossless.LZ{}})
+	}
+	return d
+}
+
+// DecompressBatch reconstructs the frames of one block, verifying its
+// integrity checksum first.
+func (d *Decompressor) DecompressBatch(blk []byte) ([]Frame, error) {
+	if len(blk) < 8 || string(blk[:4]) != "MDZS" {
+		return nil, errors.New("mdz: not an MDZ block")
+	}
+	body, footer := blk[4:len(blk)-4], blk[len(blk)-4:]
+	want := uint32(footer[0]) | uint32(footer[1])<<8 | uint32(footer[2])<<16 | uint32(footer[3])<<24
+	if crc32.Checksum(body, crcTable) != want {
+		return nil, errors.New("mdz: block checksum mismatch (corrupted data)")
+	}
+	br := bitstream.NewByteReader(body)
+	var series [3][][]float64
+	for axis := 0; axis < 3; axis++ {
+		sec, err := br.ReadSection()
+		if err != nil {
+			return nil, err
+		}
+		series[axis], err = d.dec[axis].DecodeBatch(sec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	bs := len(series[0])
+	if len(series[1]) != bs || len(series[2]) != bs {
+		return nil, errors.New("mdz: inconsistent axis batch sizes")
+	}
+	frames := make([]Frame, bs)
+	for t := 0; t < bs; t++ {
+		frames[t] = Frame{X: series[0][t], Y: series[1][t], Z: series[2][t]}
+	}
+	return frames, nil
+}
+
+// Batch splits frames into buffers of at most bs frames (bs <= 0 selects
+// DefaultBufferSize), mirroring the paper's buffered execution model.
+func Batch(frames []Frame, bs int) [][]Frame {
+	if bs <= 0 {
+		bs = DefaultBufferSize
+	}
+	var out [][]Frame
+	for i := 0; i < len(frames); i += bs {
+		j := i + bs
+		if j > len(frames) {
+			j = len(frames)
+		}
+		out = append(out, frames[i:j])
+	}
+	return out
+}
+
+// Compress is a one-shot helper: it batches frames by cfg.BufferSize,
+// compresses each batch, and frames the blocks into a single stream.
+func Compress(frames []Frame, cfg Config) ([]byte, error) {
+	c, err := NewCompressor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := []byte{'M', 'D', 'Z', 'F'}
+	batches := Batch(frames, cfg.BufferSize)
+	out = bitstream.AppendUvarint(out, uint64(len(batches)))
+	for _, b := range batches {
+		blk, err := c.CompressBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		out = bitstream.AppendSection(out, blk)
+	}
+	return out, nil
+}
+
+// Decompress inverts Compress.
+func Decompress(stream []byte) ([]Frame, error) {
+	if len(stream) < 4 || string(stream[:4]) != "MDZF" {
+		return nil, errors.New("mdz: not an MDZ stream")
+	}
+	br := bitstream.NewByteReader(stream[4:])
+	nb, err := br.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nb > 1<<30 {
+		return nil, errors.New("mdz: corrupt stream")
+	}
+	d := NewDecompressor()
+	var frames []Frame
+	for i := uint64(0); i < nb; i++ {
+		blk, err := br.ReadSection()
+		if err != nil {
+			return nil, err
+		}
+		batch, err := d.DecompressBatch(blk)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, batch...)
+	}
+	return frames, nil
+}

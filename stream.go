@@ -1,0 +1,192 @@
+package mdz
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Writer compresses frames onto an io.Writer as a framed MDZ stream,
+// buffering BufferSize snapshots per block — the natural interface for
+// in-situ dumping from a running simulation.
+//
+//	w := mdz.NewWriter(file, mdz.Config{ErrorBound: 1e-3})
+//	for step := ...; ; {
+//	    if dumpNow { w.WriteFrame(frame) }
+//	}
+//	w.Close() // flushes the final partial batch
+type Writer struct {
+	c       *Compressor
+	w       *bufio.Writer
+	pending []Frame
+	bs      int
+	err     error
+	closed  bool
+	// raw/compressed byte counters for reporting
+	rawBytes, compBytes int64
+}
+
+const streamMagic = "MDZW"
+
+// NewWriter returns a Writer with the given configuration. The stream
+// header is written lazily with the first frame.
+func NewWriter(w io.Writer, cfg Config) (*Writer, error) {
+	c, err := NewCompressor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	bs := cfg.BufferSize
+	if bs <= 0 {
+		bs = DefaultBufferSize
+	}
+	return &Writer{c: c, w: bufio.NewWriterSize(w, 1<<20), bs: bs}, nil
+}
+
+// WriteFrame buffers one snapshot, flushing a compressed block every
+// BufferSize frames.
+func (w *Writer) WriteFrame(f Frame) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("mdz: write after Close")
+	}
+	if len(w.pending) == 0 && w.rawBytes == 0 && w.compBytes == 0 {
+		if _, err := w.w.WriteString(streamMagic); err != nil {
+			return w.fail(err)
+		}
+	}
+	w.pending = append(w.pending, f)
+	if len(w.pending) >= w.bs {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *Writer) flush() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	blk, err := w.c.CompressBatch(w.pending)
+	if err != nil {
+		return w.fail(err)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(blk)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return w.fail(err)
+	}
+	if _, err := w.w.Write(blk); err != nil {
+		return w.fail(err)
+	}
+	w.rawBytes += int64(len(w.pending) * w.pending[0].N() * 3 * 8)
+	w.compBytes += int64(len(blk)) + 4
+	w.pending = w.pending[:0]
+	return nil
+}
+
+func (w *Writer) fail(err error) error {
+	w.err = err
+	return err
+}
+
+// Close flushes the final partial batch and the underlying buffer. It does
+// not close the wrapped io.Writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flush(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Stats reports raw and compressed byte totals of flushed blocks.
+func (w *Writer) Stats() (raw, compressed int64) { return w.rawBytes, w.compBytes }
+
+// Reader decompresses a framed MDZ stream produced by Writer, yielding
+// frames one at a time.
+type Reader struct {
+	d      *Decompressor
+	r      *bufio.Reader
+	queue  []Frame
+	err    error
+	opened bool
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{d: NewDecompressor(), r: bufio.NewReaderSize(r, 1<<20)}
+}
+
+// ReadFrame returns the next frame, or io.EOF at end of stream.
+func (r *Reader) ReadFrame() (Frame, error) {
+	if r.err != nil {
+		return Frame{}, r.err
+	}
+	if !r.opened {
+		magic := make([]byte, 4)
+		if _, err := io.ReadFull(r.r, magic); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return Frame{}, r.fail(io.EOF)
+			}
+			return Frame{}, r.fail(err)
+		}
+		if string(magic) != streamMagic {
+			return Frame{}, r.fail(fmt.Errorf("mdz: not an MDZ stream (magic %q)", magic))
+		}
+		r.opened = true
+	}
+	for len(r.queue) == 0 {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return Frame{}, r.fail(io.EOF)
+			}
+			return Frame{}, r.fail(fmt.Errorf("mdz: truncated stream: %w", err))
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n == 0 || n > 1<<31 {
+			return Frame{}, r.fail(errors.New("mdz: corrupt stream framing"))
+		}
+		blk := make([]byte, n)
+		if _, err := io.ReadFull(r.r, blk); err != nil {
+			return Frame{}, r.fail(fmt.Errorf("mdz: truncated block: %w", err))
+		}
+		batch, err := r.d.DecompressBatch(blk)
+		if err != nil {
+			return Frame{}, r.fail(err)
+		}
+		r.queue = batch
+	}
+	f := r.queue[0]
+	r.queue = r.queue[1:]
+	return f, nil
+}
+
+// ReadAll drains the stream into a slice.
+func (r *Reader) ReadAll() ([]Frame, error) {
+	var out []Frame
+	for {
+		f, err := r.ReadFrame()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, f)
+	}
+}
+
+func (r *Reader) fail(err error) error {
+	r.err = err
+	return err
+}
