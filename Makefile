@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt ci bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+ci:
+	sh scripts/ci.sh
+
+# Hot-path throughput benchmarks for the sharded parallel pipeline.
+bench:
+	$(GO) test -run xxx -bench 'CompressBatch|DecompressBatch' -benchmem .

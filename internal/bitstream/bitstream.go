@@ -373,3 +373,29 @@ func AppendSection(dst, payload []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
 	return append(dst, payload...)
 }
+
+// AppendShardSection appends one shard sub-section of a sharded block: the
+// shard's item count (particles) as a uvarint, followed by its payload as a
+// length-prefixed section.
+func AppendShardSection(dst []byte, items int, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(items))
+	return AppendSection(dst, payload)
+}
+
+// ReadShardSection consumes a shard sub-section written by
+// AppendShardSection, returning the shard's item count and payload (a
+// no-copy subslice of the underlying buffer).
+func (b *ByteReader) ReadShardSection() (items int, payload []byte, err error) {
+	n, err := b.ReadUvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > 1<<40 {
+		return 0, nil, ErrShortStream
+	}
+	payload, err = b.ReadSection()
+	if err != nil {
+		return 0, nil, err
+	}
+	return int(n), payload, nil
+}

@@ -10,6 +10,21 @@
 // sample of the first snapshot, and the reconstructed initial snapshot is
 // retained as the MT reference. Encoder and Decoder must therefore process
 // batches in the same order; every block is otherwise self-describing.
+//
+// # Parallel execution
+//
+// Every predictor in the pipeline needs only per-particle local context, so
+// a batch parallelizes cleanly along the particle axis: the encoder splits
+// each batch into K contiguous particle shards (Params.Shards; 0 selects an
+// automatic count from the particle count alone, so output stays
+// deterministic across machines) and encodes them concurrently on
+// Params.Pool. Each shard carries its own Huffman tables and level-delta
+// chain, making shards fully independent for the decoder too. Blocks with
+// K > 1 use format version 2 (a list of shard sub-sections per block);
+// K = 1 blocks keep the version-1 layout byte-for-byte, and the decoder
+// accepts both. For a fixed (input, params, K) the output bytes are
+// identical regardless of pool size: shards are encoded concurrently but
+// assembled in index order.
 package core
 
 import (
@@ -21,6 +36,7 @@ import (
 	"github.com/mdz/mdz/internal/huffman"
 	"github.com/mdz/mdz/internal/kmeans"
 	"github.com/mdz/mdz/internal/lossless"
+	"github.com/mdz/mdz/internal/pool"
 	"github.com/mdz/mdz/internal/predictor"
 	"github.com/mdz/mdz/internal/quant"
 )
@@ -75,6 +91,49 @@ func (s Sequence) String() string {
 // compression operations (batches).
 const DefaultAdaptInterval = 50
 
+// MaxShards bounds the per-block shard count, keeping headers small and
+// rejecting absurd counts in corrupted blocks.
+const MaxShards = 4096
+
+const (
+	// shardMinParticles is the per-shard particle floor used by the
+	// automatic shard count: below it, sharding overhead (extra Huffman
+	// tables, shorter dictionary contexts) outweighs the parallelism.
+	shardMinParticles = 16384
+	maxAutoShards     = 64
+)
+
+// DefaultShards reports the automatic shard count for an n-particle axis.
+// It depends only on n — never on core count — so automatically sharded
+// output is identical across machines.
+func DefaultShards(n int) int {
+	k := n / shardMinParticles
+	if k < 1 {
+		return 1
+	}
+	if k > maxAutoShards {
+		return maxAutoShards
+	}
+	return k
+}
+
+// shardBounds splits n particles into k near-equal contiguous ranges,
+// returning k+1 cumulative offsets.
+func shardBounds(n, k int) []int {
+	bounds := make([]int, k+1)
+	base, rem := n/k, n%k
+	off := 0
+	for s := 0; s < k; s++ {
+		bounds[s] = off
+		off += base
+		if s < rem {
+			off++
+		}
+	}
+	bounds[k] = n
+	return bounds
+}
+
 // Params configures an Encoder. The zero value is not usable; use
 // NewEncoder which applies defaults.
 type Params struct {
@@ -94,6 +153,15 @@ type Params struct {
 	Backend lossless.Backend
 	// KMeans tunes the sampled 1-D clustering for the VQ level model.
 	KMeans kmeans.Options
+	// Shards splits each batch into K contiguous particle shards encoded
+	// independently: 0 selects DefaultShards(n), 1 forces single-shard
+	// blocks byte-identical to format version 1. Shard count changes the
+	// output bytes (format version 2) but never the error bound.
+	Shards int
+	// Pool bounds the goroutines used for shard- and ADP-trial-level
+	// parallelism. A nil pool runs serially; pool size never changes the
+	// output bytes.
+	Pool *pool.Pool
 }
 
 func (p *Params) fill() error {
@@ -109,6 +177,9 @@ func (p *Params) fill() error {
 	if p.AdaptInterval <= 0 {
 		p.AdaptInterval = DefaultAdaptInterval
 	}
+	if p.Shards < 0 || p.Shards > MaxShards {
+		return fmt.Errorf("core: Shards must be in [0, %d], got %d", MaxShards, p.Shards)
+	}
 	if p.Backend == nil {
 		p.Backend = lossless.LZ{}
 	}
@@ -118,7 +189,8 @@ func (p *Params) fill() error {
 // Block format constants.
 const (
 	blockMagic   = "MDZB"
-	formatVer    = 1
+	formatVer1   = 1 // single payload section per axis
+	formatVer2   = 2 // sharded: shard count + per-shard sub-sections
 	firstLorenzo = 0 // first snapshot of batch: spatial Lorenzo (no ref yet)
 	firstRef     = 1 // first snapshot of batch: snapshot-0 reference
 	firstVQ      = 2 // first snapshot of batch: VQ level prediction
@@ -171,6 +243,21 @@ func NewEncoder(p Params) (*Encoder, error) {
 // Method reports the concrete method currently selected (useful under ADP).
 func (e *Encoder) Method() Method { return e.cur }
 
+// shardCount resolves the effective shard count for an n-particle batch.
+func (e *Encoder) shardCount(n int) int {
+	k := e.p.Shards
+	if k == 0 {
+		k = DefaultShards(n)
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // EncodeBatch compresses a buffer of snapshots (each []float64 of equal
 // length) into a self-describing block. Snapshots are consumed in
 // simulation order; the batch must not be empty.
@@ -198,15 +285,25 @@ func (e *Encoder) EncodeBatch(batch [][]float64) ([]byte, error) {
 	var recon0 []float64
 	if adapt {
 		e.Stats.Evaluations++
+		// The three candidate trial compressions are independent; run them
+		// concurrently on the shared pool and pick the winner in fixed
+		// method order so the selection is deterministic.
+		methods := [...]Method{VQ, VQT, MT}
+		var blks [3][]byte
+		var r0s [3][]float64
+		err := e.p.Pool.Run(len(methods), func(i int) error {
+			var terr error
+			blks[i], r0s[i], terr = e.encodeWith(methods[i], batch)
+			return terr
+		})
+		if err != nil {
+			return nil, err
+		}
 		bestLen := math.MaxInt
-		for _, m := range []Method{VQ, VQT, MT} {
-			blk, r0, err := e.encodeWith(m, batch)
-			if err != nil {
-				return nil, err
-			}
-			if len(blk) < bestLen {
-				bestLen = len(blk)
-				out, recon0, e.cur = blk, r0, m
+		for i, m := range methods {
+			if len(blks[i]) < bestLen {
+				bestLen = len(blks[i])
+				out, recon0, e.cur = blks[i], r0s[i], m
 			}
 		}
 	} else {
@@ -247,28 +344,88 @@ func (e *Encoder) initLevels(snapshot0 []float64) error {
 }
 
 // encodeWith compresses batch with concrete method m without mutating
-// encoder state; it returns the block and the reconstruction of the batch's
-// first snapshot (the MT reference candidate for batch 0).
+// encoder state: it shards the batch along the particle axis, encodes the
+// shards concurrently (assembled in index order, so bytes are
+// deterministic), and returns the block plus the reconstruction of the
+// batch's first snapshot (the MT reference candidate for batch 0).
 func (e *Encoder) encodeWith(m Method, batch [][]float64) (blk []byte, recon0 []float64, err error) {
 	bs, n := len(batch), len(batch[0])
-	bins := make([]int, 0, bs*n) // snapshot-major during prediction
-	var levels []int             // J stream: level-index deltas (VQ-coded snapshots)
-	var outliers []byte          // exact values in snapshot-major traversal order
-
-	prevRecon := make([]float64, n) // reconstructed previous snapshot
-	curRecon := make([]float64, n)
+	k := e.shardCount(n)
 	firstPred := byte(firstVQ)
+	if m == MT {
+		if e.ref != nil {
+			firstPred = firstRef
+		} else {
+			firstPred = firstLorenzo
+		}
+	}
+	bounds := shardBounds(n, k)
+	recon0 = make([]float64, n)
+	shards := make([][]byte, k)
+	err = e.p.Pool.Run(k, func(s int) error {
+		lo, hi := bounds[s], bounds[s+1]
+		payload, serr := e.encodeShard(m, batch, lo, hi, firstPred, recon0[lo:hi])
+		shards[s] = payload
+		return serr
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Header. Version 1 (single section) for K=1 keeps byte-for-byte
+	// compatibility with pre-sharding blocks.
+	ver := byte(formatVer1)
+	if k > 1 {
+		ver = formatVer2
+	}
+	blk = append(blk, blockMagic...)
+	blk = append(blk, ver, byte(m), byte(e.p.Sequence), firstPred)
+	blk = bitstream.AppendFloat64(blk, e.p.ErrorBound)
+	blk = bitstream.AppendUvarint(blk, uint64(e.p.QuantScale))
+	blk = bitstream.AppendUvarint(blk, uint64(bs))
+	blk = bitstream.AppendUvarint(blk, uint64(n))
+	blk = bitstream.AppendFloat64(blk, e.km.LevelDistance)
+	blk = bitstream.AppendFloat64(blk, e.km.LevelOrigin)
+	if k == 1 {
+		blk = bitstream.AppendSection(blk, shards[0])
+	} else {
+		blk = bitstream.AppendUvarint(blk, uint64(k))
+		for s, payload := range shards {
+			blk = bitstream.AppendShardSection(blk, bounds[s+1]-bounds[s], payload)
+		}
+	}
+	return blk, recon0, nil
+}
+
+// encodeShard compresses the particle range [lo, hi) of batch with method m
+// into one backend-compressed payload carrying its own Huffman tables and
+// level-delta chain. recon0 (length hi-lo) receives the reconstruction of
+// the shard's first snapshot. encodeShard reads but never mutates encoder
+// state, so shards and ADP trials can run concurrently.
+func (e *Encoder) encodeShard(m Method, batch [][]float64, lo, hi int, firstPred byte, recon0 []float64) ([]byte, error) {
+	bs, sn := len(batch), hi-lo
+	sc := encScratchPool.Get().(*encodeScratch)
+	defer encScratchPool.Put(sc)
+	bins := sc.bins[:0] // snapshot-major during prediction
+	if cap(bins) < bs*sn {
+		bins = make([]int, 0, bs*sn)
+	}
+	levels := sc.levels[:0]                  // J stream: level-index deltas (VQ-coded snapshots)
+	outliers := sc.outliers[:0]              // exact values in snapshot-major traversal order
+	prevRecon := floatsCap(sc.prevRecon, sn) // reconstructed previous snapshot
+	curRecon := floatsCap(sc.curRecon, sn)
+	for i := range prevRecon {
+		prevRecon[i] = 0
+	}
 
 	for t, snap := range batch {
 		vqSnapshot := m == VQ || (m == VQT && t == 0)
 		switch {
 		case vqSnapshot:
-			if t == 0 {
-				firstPred = firstVQ
-			}
 			lam, mu := e.km.LevelDistance, e.km.LevelOrigin
 			prevLevel := int64(0)
-			for i, d := range snap {
+			for i := lo; i < hi; i++ {
+				d := snap[i]
 				lvl, centroid := predictor.Level(d, lam, mu)
 				code, recon, ok := e.q.Quantize(d, centroid)
 				if !ok {
@@ -279,93 +436,95 @@ func (e *Encoder) encodeWith(m Method, batch [][]float64) (blk []byte, recon0 []
 				bins = append(bins, code)
 				levels = append(levels, int(lvl-prevLevel))
 				prevLevel = lvl
-				curRecon[i] = recon
+				curRecon[i-lo] = recon
 			}
-		case t == 0 && m == MT:
-			if e.ref != nil {
-				firstPred = firstRef
-				for i, d := range snap {
-					code, recon, ok := e.q.Quantize(d, e.ref[i])
-					if !ok {
-						outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
-						recon = quant.BoundedRecon(d, e.p.ErrorBound)
-						code = quant.Reserved
-					}
-					bins = append(bins, code)
-					curRecon[i] = recon
-				}
-			} else {
-				// Very first batch of the run: no reference exists yet, so
-				// the initial snapshot is coded with spatial Lorenzo.
-				firstPred = firstLorenzo
-				prev := 0.0
-				for i, d := range snap {
-					code, recon, ok := e.q.Quantize(d, prev)
-					if !ok {
-						outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
-						recon = quant.BoundedRecon(d, e.p.ErrorBound)
-						code = quant.Reserved
-					}
-					bins = append(bins, code)
-					curRecon[i] = recon
-					prev = recon
-				}
-			}
-		default: // time-based prediction from the previous snapshot
-			for i, d := range snap {
-				code, recon, ok := e.q.Quantize(d, prevRecon[i])
+		case t == 0 && m == MT && firstPred == firstRef:
+			ref := e.ref[lo:hi]
+			for i := lo; i < hi; i++ {
+				d := snap[i]
+				code, recon, ok := e.q.Quantize(d, ref[i-lo])
 				if !ok {
 					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
 					recon = quant.BoundedRecon(d, e.p.ErrorBound)
 					code = quant.Reserved
 				}
 				bins = append(bins, code)
-				curRecon[i] = recon
+				curRecon[i-lo] = recon
+			}
+		case t == 0 && m == MT:
+			// Very first batch of the run: no reference exists yet, so the
+			// initial snapshot is coded with spatial Lorenzo (restarting at
+			// each shard boundary).
+			prev := 0.0
+			for i := lo; i < hi; i++ {
+				d := snap[i]
+				code, recon, ok := e.q.Quantize(d, prev)
+				if !ok {
+					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
+					recon = quant.BoundedRecon(d, e.p.ErrorBound)
+					code = quant.Reserved
+				}
+				bins = append(bins, code)
+				curRecon[i-lo] = recon
+				prev = recon
+			}
+		default: // time-based prediction from the previous snapshot
+			for i := lo; i < hi; i++ {
+				d := snap[i]
+				code, recon, ok := e.q.Quantize(d, prevRecon[i-lo])
+				if !ok {
+					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
+					recon = quant.BoundedRecon(d, e.p.ErrorBound)
+					code = quant.Reserved
+				}
+				bins = append(bins, code)
+				curRecon[i-lo] = recon
 			}
 		}
 		prevRecon, curRecon = curRecon, prevRecon
 		if t == 0 {
-			recon0 = append([]float64(nil), prevRecon...)
+			copy(recon0, prevRecon)
 		}
 	}
+	sc.prevRecon, sc.curRecon = prevRecon, curRecon
+	sc.levels, sc.outliers = levels, outliers
 
 	if e.p.Sequence == Seq2 {
-		bins = interleave(bins, bs, n)
+		sc.bins = bins // keep the snapshot-major buffer for reuse
+		inter := intsCap(sc.inter, len(bins))
+		interleaveInto(inter, bins, bs, sn)
+		sc.inter = inter
+		bins = inter
+	} else {
+		sc.bins = bins
 	}
 
 	// Assemble payload sections, then run the lossless backend.
-	var payload []byte
-	payload, err = huffman.EncodeInts(payload, bins)
+	payload := sc.payload[:0]
+	var err error
+	payload, err = sc.huff.EncodeInts(payload, bins)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	payload, err = huffman.EncodeInts(payload, levels)
+	payload, err = sc.huff.EncodeInts(payload, levels)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	payload = bitstream.AppendSection(payload, outliers)
-	compressed, err := e.p.Backend.Compress(payload)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	// Header.
-	blk = append(blk, blockMagic...)
-	blk = append(blk, formatVer, byte(m), byte(e.p.Sequence), firstPred)
-	blk = bitstream.AppendFloat64(blk, e.p.ErrorBound)
-	blk = bitstream.AppendUvarint(blk, uint64(e.p.QuantScale))
-	blk = bitstream.AppendUvarint(blk, uint64(bs))
-	blk = bitstream.AppendUvarint(blk, uint64(n))
-	blk = bitstream.AppendFloat64(blk, e.km.LevelDistance)
-	blk = bitstream.AppendFloat64(blk, e.km.LevelOrigin)
-	blk = bitstream.AppendSection(blk, compressed)
-	return blk, recon0, nil
+	sc.payload = payload
+	return e.p.Backend.Compress(payload)
 }
 
 // interleave reorders a snapshot-major bs×n code matrix to particle-major
 // (Seq-2).
 func interleave(bins []int, bs, n int) []int {
 	out := make([]int, len(bins))
+	interleaveInto(out, bins, bs, n)
+	return out
+}
+
+// interleaveInto is interleave with a caller-provided destination.
+func interleaveInto(out, bins []int, bs, n int) {
 	idx := 0
 	for i := 0; i < n; i++ {
 		for t := 0; t < bs; t++ {
@@ -373,12 +532,17 @@ func interleave(bins []int, bs, n int) []int {
 			idx++
 		}
 	}
-	return out
 }
 
 // deinterleave inverts interleave.
 func deinterleave(bins []int, bs, n int) []int {
 	out := make([]int, len(bins))
+	deinterleaveInto(out, bins, bs, n)
+	return out
+}
+
+// deinterleaveInto is deinterleave with a caller-provided destination.
+func deinterleaveInto(out, bins []int, bs, n int) {
 	idx := 0
 	for i := 0; i < n; i++ {
 		for t := 0; t < bs; t++ {
@@ -386,7 +550,6 @@ func deinterleave(bins []int, bs, n int) []int {
 			idx++
 		}
 	}
-	return out
 }
 
 // Decoder decompresses blocks produced by an Encoder. Blocks must be fed in
@@ -396,8 +559,9 @@ type Decoder struct {
 	ref []float64
 }
 
-// NewDecoder returns a Decoder. Only Backend is consulted from p (other
-// parameters are read from block headers); a zero Params selects defaults.
+// NewDecoder returns a Decoder. Only Backend and Pool are consulted from p
+// (other parameters are read from block headers); a zero Params selects
+// defaults.
 func NewDecoder(p Params) *Decoder {
 	if p.Backend == nil {
 		p.Backend = lossless.LZ{}
@@ -405,73 +569,96 @@ func NewDecoder(p Params) *Decoder {
 	return &Decoder{p: p}
 }
 
-// DecodeBatch reconstructs the snapshots of one block.
+// DecodeBatch reconstructs the snapshots of one block, decoding particle
+// shards concurrently on the configured pool.
 func (d *Decoder) DecodeBatch(blk []byte) ([][]float64, error) {
 	h, err := parseHeader(blk)
 	if err != nil {
 		return nil, err
 	}
-	m, seq, firstPred := h.method, h.seq, h.firstPred
-	eb, bs, n, lam, mu := h.eb, h.bs, h.n, h.lam, h.mu
-	q, err := quant.New(eb, h.scale)
+	q, err := quant.New(h.eb, h.scale)
 	if err != nil {
 		return nil, ErrCorrupt
 	}
-	bins, levels, outliers, err := d.sections(h)
-	if err != nil {
-		return nil, err
-	}
-	if seq == Seq2 {
-		bins = deinterleave(bins, bs, n)
-	}
-	if m == MT && firstPred == firstRef {
-		if d.ref == nil || len(d.ref) != n {
+	if h.method == MT && h.firstPred == firstRef {
+		if d.ref == nil || len(d.ref) != h.n {
 			return nil, ErrOrder
 		}
 	}
+	out := make([][]float64, h.bs)
+	for t := range out {
+		out[t] = make([]float64, h.n)
+	}
+	offs := shardOffsets(h.shards)
+	err = d.p.Pool.Run(len(h.shards), func(s int) error {
+		return d.decodeShard(q, h, h.shards[s], offs[s], out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if d.ref == nil {
+		d.ref = append([]float64(nil), out[0]...)
+	}
+	return out, nil
+}
 
-	out := make([][]float64, bs)
+// decodeShard reconstructs one shard's particle columns [lo, lo+particles)
+// into out. Shards write disjoint column ranges, so they are safe to decode
+// concurrently.
+func (d *Decoder) decodeShard(q *quant.Quantizer, h *header, sh shardSec, lo int, out [][]float64) error {
+	bs, sn := h.bs, sh.particles
+	sc := decScratchPool.Get().(*decodeScratch)
+	defer decScratchPool.Put(sc)
+	bins, levels, outliers, err := d.sections(sh.body, bs, sn, sc)
+	if err != nil {
+		return err
+	}
+	if h.seq == Seq2 {
+		inter := intsCap(sc.inter, len(bins))
+		deinterleaveInto(inter, bins, bs, sn)
+		sc.inter = inter
+		bins = inter
+	}
 	opos := 0
 	levelPos := 0
 	nextOutlier := func() (float64, error) {
-		v, n, err := quant.ReadBounded(outliers[opos:], eb)
-		opos += n
+		v, nb, err := quant.ReadBounded(outliers[opos:], h.eb)
+		opos += nb
 		return v, err
 	}
-	prevRecon := make([]float64, n)
 	for t := 0; t < bs; t++ {
-		snap := make([]float64, n)
-		row := bins[t*n : (t+1)*n]
-		vqSnapshot := m == VQ || (m == VQT && t == 0) ||
-			(m == MT && t == 0 && firstPred == firstVQ)
+		row := bins[t*sn : (t+1)*sn]
+		snap := out[t][lo : lo+sn]
+		vqSnapshot := h.method == VQ || (h.method == VQT && t == 0) ||
+			(h.method == MT && t == 0 && h.firstPred == firstVQ)
 		switch {
 		case vqSnapshot:
 			prevLevel := int64(0)
-			for i := 0; i < n; i++ {
+			for i := 0; i < sn; i++ {
 				if levelPos >= len(levels) {
-					return nil, ErrCorrupt
+					return ErrCorrupt
 				}
 				lvl := prevLevel + int64(levels[levelPos])
 				levelPos++
 				prevLevel = lvl
-				centroid := predictor.Centroid(lvl, lam, mu)
+				centroid := predictor.Centroid(lvl, h.lam, h.mu)
 				if quant.IsReserved(row[i]) {
 					v, err := nextOutlier()
 					if err != nil {
-						return nil, ErrCorrupt
+						return ErrCorrupt
 					}
 					snap[i] = v
 				} else {
 					snap[i] = q.Dequantize(row[i], centroid)
 				}
 			}
-		case t == 0 && m == MT && firstPred == firstLorenzo:
+		case t == 0 && h.method == MT && h.firstPred == firstLorenzo:
 			prev := 0.0
-			for i := 0; i < n; i++ {
+			for i := 0; i < sn; i++ {
 				if quant.IsReserved(row[i]) {
 					v, err := nextOutlier()
 					if err != nil {
-						return nil, ErrCorrupt
+						return ErrCorrupt
 					}
 					snap[i] = v
 				} else {
@@ -479,38 +666,35 @@ func (d *Decoder) DecodeBatch(blk []byte) ([][]float64, error) {
 				}
 				prev = snap[i]
 			}
-		case t == 0 && m == MT && firstPred == firstRef:
-			for i := 0; i < n; i++ {
+		case t == 0 && h.method == MT && h.firstPred == firstRef:
+			ref := d.ref[lo : lo+sn]
+			for i := 0; i < sn; i++ {
 				if quant.IsReserved(row[i]) {
 					v, err := nextOutlier()
 					if err != nil {
-						return nil, ErrCorrupt
+						return ErrCorrupt
 					}
 					snap[i] = v
 				} else {
-					snap[i] = q.Dequantize(row[i], d.ref[i])
+					snap[i] = q.Dequantize(row[i], ref[i])
 				}
 			}
 		default: // time-based
-			for i := 0; i < n; i++ {
+			prev := out[t-1][lo : lo+sn]
+			for i := 0; i < sn; i++ {
 				if quant.IsReserved(row[i]) {
 					v, err := nextOutlier()
 					if err != nil {
-						return nil, ErrCorrupt
+						return ErrCorrupt
 					}
 					snap[i] = v
 				} else {
-					snap[i] = q.Dequantize(row[i], prevRecon[i])
+					snap[i] = q.Dequantize(row[i], prev[i])
 				}
 			}
 		}
-		out[t] = snap
-		prevRecon = snap
 	}
-	if d.ref == nil {
-		d.ref = append([]float64(nil), out[0]...)
-	}
-	return out, nil
+	return nil
 }
 
 // DecodeSnapshot decodes a single snapshot t out of a VQ block without
@@ -534,50 +718,85 @@ func (d *Decoder) DecodeSnapshot(blk []byte, t int) ([]float64, error) {
 	if err != nil {
 		return nil, ErrCorrupt
 	}
-	bins, levels, outliers, err := d.sections(h)
+	snap := make([]float64, h.n)
+	offs := shardOffsets(h.shards)
+	err = d.p.Pool.Run(len(h.shards), func(s int) error {
+		return d.decodeShardSnapshot(q, h, h.shards[s], offs[s], t, snap)
+	})
 	if err != nil {
 		return nil, err
 	}
-	if len(levels) != h.bs*h.n {
-		return nil, ErrCorrupt // VQ blocks carry one level delta per value
+	return snap, nil
+}
+
+// decodeShardSnapshot reconstructs row t of one shard into snap[lo:].
+func (d *Decoder) decodeShardSnapshot(q *quant.Quantizer, h *header, sh shardSec, lo, t int, snap []float64) error {
+	bs, sn := h.bs, sh.particles
+	sc := decScratchPool.Get().(*decodeScratch)
+	defer decScratchPool.Put(sc)
+	bins, levels, outliers, err := d.sections(sh.body, bs, sn, sc)
+	if err != nil {
+		return err
+	}
+	if len(levels) != bs*sn {
+		return ErrCorrupt // VQ blocks carry one level delta per value
 	}
 	if h.seq == Seq2 {
-		bins = deinterleave(bins, h.bs, h.n)
+		inter := intsCap(sc.inter, len(bins))
+		deinterleaveInto(inter, bins, bs, sn)
+		sc.inter = inter
+		bins = inter
 	}
 	// Position the outlier cursor: count reserved codes before row t.
 	opos := 0
-	for _, code := range bins[:t*h.n] {
+	for _, code := range bins[:t*sn] {
 		if quant.IsReserved(code) {
 			_, n2, err := quant.ReadBounded(outliers[opos:], h.eb)
 			if err != nil {
-				return nil, ErrCorrupt
+				return ErrCorrupt
 			}
 			opos += n2
 		}
 	}
-	snap := make([]float64, h.n)
-	row := bins[t*h.n : (t+1)*h.n]
-	lvlRow := levels[t*h.n : (t+1)*h.n]
+	row := bins[t*sn : (t+1)*sn]
+	lvlRow := levels[t*sn : (t+1)*sn]
 	prevLevel := int64(0)
-	for i := 0; i < h.n; i++ {
+	for i := 0; i < sn; i++ {
 		lvl := prevLevel + int64(lvlRow[i])
 		prevLevel = lvl
 		if quant.IsReserved(row[i]) {
 			v, n2, err := quant.ReadBounded(outliers[opos:], h.eb)
 			if err != nil {
-				return nil, ErrCorrupt
+				return ErrCorrupt
 			}
 			opos += n2
-			snap[i] = v
+			snap[lo+i] = v
 		} else {
-			snap[i] = q.Dequantize(row[i], predictor.Centroid(lvl, h.lam, h.mu))
+			snap[lo+i] = q.Dequantize(row[i], predictor.Centroid(lvl, h.lam, h.mu))
 		}
 	}
-	return snap, nil
+	return nil
 }
 
 // ErrNotRandomAccess is returned by DecodeSnapshot on VQT/MT blocks.
 var ErrNotRandomAccess = errors.New("core: random access requires a VQ block")
+
+// shardSec is one parsed shard sub-section.
+type shardSec struct {
+	particles int
+	body      []byte // compressed shard payload
+}
+
+// shardOffsets returns each shard's starting particle column.
+func shardOffsets(shards []shardSec) []int {
+	offs := make([]int, len(shards))
+	off := 0
+	for s := range shards {
+		offs[s] = off
+		off += shards[s].particles
+	}
+	return offs
+}
 
 // header is the parsed block preamble.
 type header struct {
@@ -588,7 +807,7 @@ type header struct {
 	scale     int
 	bs, n     int
 	lam, mu   float64
-	body      []byte // compressed payload section
+	shards    []shardSec
 }
 
 func parseHeader(blk []byte) (*header, error) {
@@ -598,7 +817,7 @@ func parseHeader(blk []byte) (*header, error) {
 		return nil, ErrCorrupt
 	}
 	ver, err := br.ReadByte()
-	if err != nil || ver != formatVer {
+	if err != nil || (ver != formatVer1 && ver != formatVer2) {
 		return nil, ErrCorrupt
 	}
 	h := &header{}
@@ -644,30 +863,66 @@ func parseHeader(blk []byte) (*header, error) {
 	if h.mu, err = br.ReadFloat64(); err != nil {
 		return nil, err
 	}
-	if h.body, err = br.ReadSection(); err != nil {
+	if ver == formatVer1 {
+		body, err := br.ReadSection()
+		if err != nil {
+			return nil, err
+		}
+		h.shards = []shardSec{{particles: h.n, body: body}}
+		return h, nil
+	}
+	k64, err := br.ReadUvarint()
+	if err != nil {
 		return nil, err
+	}
+	if k64 < 1 || k64 > MaxShards || int(k64) > h.n {
+		return nil, ErrCorrupt
+	}
+	h.shards = make([]shardSec, int(k64))
+	sum := 0
+	for s := range h.shards {
+		particles, body, err := br.ReadShardSection()
+		if err != nil {
+			return nil, err
+		}
+		if particles <= 0 || particles > h.n {
+			return nil, ErrCorrupt
+		}
+		h.shards[s] = shardSec{particles: particles, body: body}
+		sum += particles
+	}
+	if sum != h.n {
+		return nil, ErrCorrupt
 	}
 	return h, nil
 }
 
-// sections decompresses the payload and splits it into the bin stream,
-// level-delta stream and outlier bytes.
-func (d *Decoder) sections(h *header) (bins, levels []int, outliers []byte, err error) {
-	payload, err := d.p.Backend.Decompress(h.body)
+// sections decompresses one shard payload and splits it into the bin
+// stream, level-delta stream and outlier bytes, reusing sc's buffers when
+// provided. The returned slices alias sc and must not outlive its use.
+func (d *Decoder) sections(body []byte, bs, sn int, sc *decodeScratch) (bins, levels []int, outliers []byte, err error) {
+	payload, err := d.p.Backend.Decompress(body)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	pr := bitstream.NewByteReader(payload)
-	if bins, err = huffman.DecodeInts(pr); err != nil {
+	var binsBuf, levelsBuf []int
+	if sc != nil {
+		binsBuf, levelsBuf = sc.bins, sc.levels
+	}
+	if bins, err = huffman.DecodeIntsBuf(pr, binsBuf); err != nil {
 		return nil, nil, nil, err
 	}
-	if levels, err = huffman.DecodeInts(pr); err != nil {
+	if levels, err = huffman.DecodeIntsBuf(pr, levelsBuf); err != nil {
 		return nil, nil, nil, err
+	}
+	if sc != nil {
+		sc.bins, sc.levels = bins, levels
 	}
 	if outliers, err = pr.ReadSection(); err != nil {
 		return nil, nil, nil, err
 	}
-	if len(bins) != h.bs*h.n {
+	if len(bins) != bs*sn {
 		return nil, nil, nil, ErrCorrupt
 	}
 	return bins, levels, outliers, nil

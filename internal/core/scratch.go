@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/mdz/mdz/internal/huffman"
+)
+
+// encodeScratch holds the per-shard working buffers of the encode hot path
+// (quantization bins, level deltas, interleave target, reconstruction rows,
+// outlier bytes, payload assembly, Huffman scratch). Instances are recycled
+// through a sync.Pool so steady-state encoding performs no per-batch slice
+// allocations; each concurrent shard task owns one instance for the
+// duration of its encode.
+type encodeScratch struct {
+	bins, levels, inter []int
+	prevRecon, curRecon []float64
+	outliers, payload   []byte
+	huff                huffman.Scratch
+}
+
+var encScratchPool = sync.Pool{New: func() any { return new(encodeScratch) }}
+
+// decodeScratch mirrors encodeScratch for the decode path. The snapshot
+// rows themselves are returned to the caller and therefore always freshly
+// allocated; only the transient symbol streams are pooled.
+type decodeScratch struct {
+	bins, levels, inter []int
+}
+
+var decScratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
+// intsCap returns s resized to n, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func intsCap(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// floatsCap is intsCap for float64 slices.
+func floatsCap(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -91,17 +91,25 @@ func Build(freq map[int]uint64) (*Encoder, error) {
 		e.lengths = []uint8{1}
 		return e, nil
 	}
+	// All tree nodes live in one slab (len(syms) leaves + len(syms)-1
+	// internal nodes), so building the tree costs two allocations instead of
+	// one per node — this is on the per-shard encode hot path.
+	slab := make([]heapNode, 2*len(syms)-1)
 	h := make(nodeHeap, 0, len(syms))
 	order := 0
 	for _, s := range syms {
-		h = append(h, &heapNode{weight: freq[s], symbol: s, order: order})
+		node := &slab[order]
+		*node = heapNode{weight: freq[s], symbol: s, order: order}
+		h = append(h, node)
 		order++
 	}
 	heap.Init(&h)
 	for h.Len() > 1 {
 		a := heap.Pop(&h).(*heapNode)
 		b := heap.Pop(&h).(*heapNode)
-		heap.Push(&h, &heapNode{weight: a.weight + b.weight, left: a, right: b, order: order})
+		node := &slab[order]
+		*node = heapNode{weight: a.weight + b.weight, left: a, right: b, order: order}
+		heap.Push(&h, node)
 		order++
 	}
 	root := h[0]
@@ -379,7 +387,17 @@ func (d *Decoder) Decode(r *bitstream.Reader) (int, error) {
 
 // DecodeAll reads exactly n symbols into a new slice.
 func (d *Decoder) DecodeAll(r *bitstream.Reader, n int) ([]int, error) {
-	out := make([]int, n)
+	return d.DecodeAllBuf(r, n, nil)
+}
+
+// DecodeAllBuf reads exactly n symbols, reusing buf when it has capacity.
+func (d *Decoder) DecodeAllBuf(r *bitstream.Reader, n int, buf []int) ([]int, error) {
+	var out []int
+	if cap(buf) >= n {
+		out = buf[:n]
+	} else {
+		out = make([]int, n)
+	}
 	for i := 0; i < n; i++ {
 		s, err := d.Decode(r)
 		if err != nil {
@@ -390,20 +408,50 @@ func (d *Decoder) DecodeAll(r *bitstream.Reader, n int) ([]int, error) {
 	return out, nil
 }
 
-// EncodeInts is a convenience that builds a code for syms, serializes the
-// table and the bit-packed payload, and returns table||payload as
-// length-prefixed sections appended to dst.
-func EncodeInts(dst []byte, syms []int) ([]byte, error) {
-	freq := make(map[int]uint64)
-	for _, s := range syms {
-		freq[s]++
+// Scratch holds reusable buffers for EncodeInts so repeated encodes (one
+// per shard per batch in the MDZ pipeline) stop churning the allocator. A
+// Scratch must not be used from multiple goroutines concurrently; the zero
+// value is ready to use.
+type Scratch struct {
+	freq  map[int]uint64
+	table []byte
+	w     bitstream.Writer
+}
+
+// EncodeInts builds a code for syms, serializes the table and the
+// bit-packed payload, and returns table||payload as length-prefixed
+// sections appended to dst, reusing the Scratch's internal buffers. A nil
+// receiver is valid and allocates fresh buffers.
+func (s *Scratch) EncodeInts(dst []byte, syms []int) ([]byte, error) {
+	var freq map[int]uint64
+	if s == nil {
+		freq = make(map[int]uint64)
+	} else {
+		if s.freq == nil {
+			s.freq = make(map[int]uint64, 64)
+		} else {
+			clear(s.freq)
+		}
+		freq = s.freq
+	}
+	for _, sym := range syms {
+		freq[sym]++
 	}
 	enc, err := Build(freq)
 	if err != nil {
 		return nil, err
 	}
-	table := enc.AppendTable(nil)
-	w := bitstream.NewWriter(len(syms) / 2)
+	var table []byte
+	var w *bitstream.Writer
+	if s == nil {
+		table = enc.AppendTable(nil)
+		w = bitstream.NewWriter(len(syms) / 2)
+	} else {
+		s.table = enc.AppendTable(s.table[:0])
+		table = s.table
+		s.w.Reset()
+		w = &s.w
+	}
 	if err := enc.EncodeAll(w, syms); err != nil {
 		return nil, err
 	}
@@ -413,8 +461,22 @@ func EncodeInts(dst []byte, syms []int) ([]byte, error) {
 	return dst, nil
 }
 
+// EncodeInts is a convenience that builds a code for syms, serializes the
+// table and the bit-packed payload, and returns table||payload as
+// length-prefixed sections appended to dst.
+func EncodeInts(dst []byte, syms []int) ([]byte, error) {
+	return (*Scratch)(nil).EncodeInts(dst, syms)
+}
+
 // DecodeInts inverts EncodeInts, consuming from br.
 func DecodeInts(br *bitstream.ByteReader) ([]int, error) {
+	return DecodeIntsBuf(br, nil)
+}
+
+// DecodeIntsBuf is DecodeInts with a caller-provided destination buffer:
+// when buf has sufficient capacity the symbols are decoded into it,
+// avoiding a per-call allocation on the decode hot path.
+func DecodeIntsBuf(br *bitstream.ByteReader, buf []int) ([]int, error) {
 	table, err := br.ReadSection()
 	if err != nil {
 		return nil, err
@@ -432,10 +494,13 @@ func DecodeInts(br *bitstream.ByteReader) ([]int, error) {
 		return nil, err
 	}
 	if n == 0 {
+		if buf != nil {
+			return buf[:0], nil
+		}
 		return []int{}, nil
 	}
 	if n > uint64(len(payload))*64+64 {
 		return nil, ErrCorrupt
 	}
-	return dec.DecodeAll(bitstream.NewReader(payload), int(n))
+	return dec.DecodeAllBuf(bitstream.NewReader(payload), int(n), buf)
 }

@@ -1,0 +1,102 @@
+// Package pool provides a bounded, work-sharing parallel executor shared by
+// the compression pipeline's three nesting levels (axes × ADP trials ×
+// particle shards).
+//
+// The design goal is a single global bound on concurrency that is safe under
+// arbitrary nesting: a Pool holds workers−1 helper tokens and every Run call
+// executes tasks on the calling goroutine as well, grabbing helper tokens
+// only opportunistically (TryAcquire semantics). A nested Run that finds all
+// tokens busy simply degrades to serial execution in its caller — it can
+// never deadlock, and the total number of running goroutines stays bounded
+// by the configured worker count regardless of nesting depth.
+//
+// Task results must be written into index-addressed slots by the callback,
+// so outputs are assembled in deterministic order no matter which goroutine
+// ran which task.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded executor. A nil *Pool is valid and runs everything
+// serially on the caller's goroutine.
+type Pool struct {
+	sem chan struct{} // helper tokens: capacity = workers-1
+}
+
+// New returns a Pool allowing up to workers concurrently running tasks
+// (including the goroutine that calls Run). workers <= 0 selects
+// runtime.GOMAXPROCS(0); workers == 1 yields a serial pool.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers-1)}
+}
+
+// Workers reports the concurrency bound (1 for a nil or serial pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return cap(p.sem) + 1
+}
+
+// Run executes f(0) … f(n-1), sharing the work between the calling
+// goroutine and any helper slots it can claim from the pool. It returns the
+// error of the lowest-index failing task (all tasks still run). Run is safe
+// to call concurrently and reentrantly; nested calls that find the pool
+// saturated run serially in their caller.
+func (p *Pool) Run(n int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p == nil || cap(p.sem) == 0 || n == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = f(i)
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-p.sem
+					wg.Done()
+				}()
+				work()
+			}()
+		default:
+			break spawn // pool saturated: caller absorbs the rest
+		}
+	}
+	work()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

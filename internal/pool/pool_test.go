@@ -1,0 +1,95 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Errorf("nil pool workers = %d", p.Workers())
+	}
+	got := make([]int, 5)
+	if err := p.Run(5, func(i int) error { got[i] = i + 1; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Errorf("task %d not run", i)
+		}
+	}
+}
+
+func TestRunAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		p := New(workers)
+		if p.Workers() != workers {
+			t.Errorf("Workers() = %d, want %d", p.Workers(), workers)
+		}
+		const n = 257
+		var hits [n]atomic.Int32
+		if err := p.Run(n, func(i int) error { hits[i].Add(1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		err := p.Run(10, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errA)
+		}
+	}
+}
+
+func TestNestedRunDoesNotDeadlock(t *testing.T) {
+	p := New(4)
+	var total atomic.Int32
+	err := p.Run(8, func(i int) error {
+		return p.Run(8, func(j int) error {
+			return p.Run(3, func(k int) error {
+				total.Add(1)
+				return nil
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 8*8*3 {
+		t.Errorf("ran %d inner tasks, want %d", total.Load(), 8*8*3)
+	}
+}
+
+func TestZeroTasks(t *testing.T) {
+	if err := New(4).Run(0, func(int) error { t.Error("task ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Error("default pool has no workers")
+	}
+	if New(-3).Workers() < 1 {
+		t.Error("negative workers pool unusable")
+	}
+}

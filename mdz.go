@@ -31,12 +31,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"sync"
 
 	"github.com/mdz/mdz/internal/bitstream"
 	"github.com/mdz/mdz/internal/core"
 	"github.com/mdz/mdz/internal/kmeans"
 	"github.com/mdz/mdz/internal/lossless"
+	"github.com/mdz/mdz/internal/pool"
 	"github.com/mdz/mdz/internal/quant"
 )
 
@@ -103,19 +103,40 @@ type Config struct {
 	// BufferSize is the batch size used by the one-shot Compress helper
 	// (default 10). CompressBatch callers control batching themselves.
 	BufferSize int
-	// Parallel compresses the three axes concurrently. Useful on multicore
-	// hosts (the paper's experiments ran on up to 216 cores); output bytes
-	// are identical to sequential mode.
+	// Workers bounds the goroutines used across all three parallelism
+	// levels — axes, particle shards and ADP trial compressions — on a
+	// single shared pool (0 = GOMAXPROCS, 1 = fully serial). Output bytes
+	// never depend on Workers.
+	Workers int
+	// Shards splits each axis batch into K contiguous particle shards
+	// encoded independently, so compression and decompression scale past
+	// the three axes on large particle counts. 0 selects an automatic count
+	// from the particle count alone (deterministic across machines);
+	// 1 forces single-shard blocks byte-identical to the pre-sharding
+	// format. Unlike Workers, the shard count is part of the output format.
+	Shards int
+	// Parallel is superseded by Workers and retained for compatibility:
+	// axis-level parallelism is now governed by the worker pool, which
+	// defaults to GOMAXPROCS. Output bytes are unaffected either way.
 	Parallel bool
+}
+
+// workers resolves the effective worker count.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 0 // pool.New treats 0 as GOMAXPROCS
 }
 
 // Compressor compresses trajectory batches. It is stateful: batches must be
 // fed in simulation order, and the matching Decompressor must consume
 // blocks in the same order. A Compressor must not be used from multiple
-// goroutines concurrently (Config.Parallel parallelizes internally).
+// goroutines concurrently (Config.Workers parallelizes internally).
 type Compressor struct {
-	cfg Config
-	enc [3]*core.Encoder
+	cfg  Config
+	pool *pool.Pool
+	enc  [3]*core.Encoder
 }
 
 // NewCompressor validates cfg and returns a Compressor.
@@ -129,7 +150,13 @@ func NewCompressor(cfg Config) (*Compressor, error) {
 	if cfg.BufferSize < 0 {
 		return nil, fmt.Errorf("mdz: BufferSize must be positive, got %d", cfg.BufferSize)
 	}
-	return &Compressor{cfg: cfg}, nil
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("mdz: Workers must be non-negative, got %d", cfg.Workers)
+	}
+	if cfg.Shards < 0 || cfg.Shards > core.MaxShards {
+		return nil, fmt.Errorf("mdz: Shards must be in [0, %d], got %d", core.MaxShards, cfg.Shards)
+	}
+	return &Compressor{cfg: cfg, pool: pool.New(cfg.workers())}, nil
 }
 
 // params builds per-axis core parameters; for ValueRange mode the absolute
@@ -162,6 +189,8 @@ func (c *Compressor) params(axis int, firstBatch [][]float64) (core.Params, erro
 		Sequence:      c.cfg.Sequence,
 		AdaptInterval: c.cfg.AdaptInterval,
 		KMeans:        kmeans.Options{Seed: int64(axis) + 1},
+		Shards:        c.cfg.Shards,
+		Pool:          c.pool,
 	}, nil
 }
 
@@ -177,9 +206,15 @@ func (c *Compressor) CompressBatch(frames []Frame) ([]byte, error) {
 			return nil, fmt.Errorf("mdz: frame %d has inconsistent particle count", i)
 		}
 	}
+	// Build the three axis series once; they are shared by parameter
+	// derivation and encoding below.
+	var series [3][][]float64
+	for axis := range series {
+		series[axis] = axisSeries(frames, axis)
+	}
 	for axis := 0; axis < 3; axis++ {
 		if c.enc[axis] == nil {
-			p, err := c.params(axis, axisSeries(frames, axis))
+			p, err := c.params(axis, series[axis])
 			if err != nil {
 				return nil, err
 			}
@@ -190,31 +225,18 @@ func (c *Compressor) CompressBatch(frames []Frame) ([]byte, error) {
 			c.enc[axis] = enc
 		}
 	}
+	// The three axes encode concurrently on the shared pool; within each
+	// axis, ADP trials and particle shards fan out further on the same
+	// pool. Blocks are assembled in axis order, so output bytes are
+	// independent of the worker count.
 	var blks [3][]byte
-	if c.cfg.Parallel {
-		var wg sync.WaitGroup
-		var errs [3]error
-		for axis := 0; axis < 3; axis++ {
-			wg.Add(1)
-			go func(axis int) {
-				defer wg.Done()
-				blks[axis], errs[axis] = c.enc[axis].EncodeBatch(axisSeries(frames, axis))
-			}(axis)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		for axis := 0; axis < 3; axis++ {
-			blk, err := c.enc[axis].EncodeBatch(axisSeries(frames, axis))
-			if err != nil {
-				return nil, err
-			}
-			blks[axis] = blk
-		}
+	err := c.pool.Run(3, func(axis int) error {
+		blk, err := c.enc[axis].EncodeBatch(series[axis])
+		blks[axis] = blk
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := []byte{'M', 'D', 'Z', 'S'}
 	for _, blk := range blks {
@@ -267,14 +289,23 @@ func axisSeries(frames []Frame, axis int) [][]float64 {
 
 // Decompressor reconstructs frames from blocks, in encode order.
 type Decompressor struct {
-	dec [3]*core.Decoder
+	pool *pool.Pool
+	dec  [3]*core.Decoder
 }
 
-// NewDecompressor returns a Decompressor with default settings.
+// NewDecompressor returns a Decompressor with default settings (a worker
+// pool sized to GOMAXPROCS; use NewDecompressorWorkers to bound it).
 func NewDecompressor() *Decompressor {
-	d := &Decompressor{}
+	return NewDecompressorWorkers(0)
+}
+
+// NewDecompressorWorkers returns a Decompressor whose axis- and shard-level
+// parallelism is bounded by workers (0 = GOMAXPROCS, 1 = serial). The
+// reconstructed frames are identical for any worker count.
+func NewDecompressorWorkers(workers int) *Decompressor {
+	d := &Decompressor{pool: pool.New(workers)}
 	for i := range d.dec {
-		d.dec[i] = core.NewDecoder(core.Params{Backend: lossless.LZ{}})
+		d.dec[i] = core.NewDecoder(core.Params{Backend: lossless.LZ{}, Pool: d.pool})
 	}
 	return d
 }
@@ -285,22 +316,33 @@ func (d *Decompressor) DecompressBatch(blk []byte) ([]Frame, error) {
 	if len(blk) < 8 || string(blk[:4]) != "MDZS" {
 		return nil, errors.New("mdz: not an MDZ block")
 	}
-	body, footer := blk[4:len(blk)-4], blk[len(blk)-4:]
-	want := uint32(footer[0]) | uint32(footer[1])<<8 | uint32(footer[2])<<16 | uint32(footer[3])<<24
+	body := blk[4 : len(blk)-4]
+	want, err := bitstream.NewByteReader(blk[len(blk)-4:]).ReadUint32()
+	if err != nil {
+		return nil, errors.New("mdz: truncated block footer")
+	}
 	if crc32.Checksum(body, crcTable) != want {
 		return nil, errors.New("mdz: block checksum mismatch (corrupted data)")
 	}
 	br := bitstream.NewByteReader(body)
-	var series [3][][]float64
+	var secs [3][]byte
 	for axis := 0; axis < 3; axis++ {
 		sec, err := br.ReadSection()
 		if err != nil {
 			return nil, err
 		}
-		series[axis], err = d.dec[axis].DecodeBatch(sec)
-		if err != nil {
-			return nil, err
-		}
+		secs[axis] = sec
+	}
+	// Decode the three axes concurrently; each axis fans out further over
+	// its particle shards on the same pool.
+	var series [3][][]float64
+	err = d.pool.Run(3, func(axis int) error {
+		out, derr := d.dec[axis].DecodeBatch(secs[axis])
+		series[axis] = out
+		return derr
+	})
+	if err != nil {
+		return nil, err
 	}
 	bs := len(series[0])
 	if len(series[1]) != bs || len(series[2]) != bs {

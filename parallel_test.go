@@ -1,0 +1,265 @@
+package mdz
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestWorkerCountInvariance: output bytes must be a pure function of
+// (input, config, shard count) — never of the worker pool size.
+func TestWorkerCountInvariance(t *testing.T) {
+	frames := makeFrames(20, 600, 51)
+	for _, shards := range []int{0, 1, 3, 7} {
+		var want []byte
+		for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0) + 2} {
+			c, err := NewCompressor(Config{ErrorBound: 1e-3, Shards: shards, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []byte
+			for _, b := range Batch(frames, 10) {
+				blk, err := c.CompressBatch(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, blk...)
+			}
+			if want == nil {
+				want = got
+			} else if !bytes.Equal(want, got) {
+				t.Fatalf("shards=%d: workers=%d output differs from workers=1", shards, workers)
+			}
+		}
+	}
+}
+
+// TestWorkerCountInvarianceRepeatedRuns: repeated compression of the same
+// input under a parallel pool yields identical bytes run after run.
+func TestWorkerCountInvarianceRepeatedRuns(t *testing.T) {
+	frames := makeFrames(10, 400, 52)
+	var want []byte
+	for run := 0; run < 5; run++ {
+		c, _ := NewCompressor(Config{ErrorBound: 1e-3, Shards: 4, Workers: 8})
+		blk, err := c.CompressBatch(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = blk
+		} else if !bytes.Equal(want, blk) {
+			t.Fatalf("run %d produced different bytes", run)
+		}
+	}
+}
+
+// TestShardRoundTripGrid runs round-trip + error-bound checks over every
+// (method, workers, shards) combination, decoding with both serial and
+// parallel decompressors.
+func TestShardRoundTripGrid(t *testing.T) {
+	frames := makeFrames(20, 300, 53)
+	const eb = 1e-3
+	for _, m := range []Method{ADP, VQ, VQT, MT} {
+		for _, workers := range []int{1, 4} {
+			for _, shards := range []int{0, 1, 2, 5} {
+				name := fmt.Sprintf("method=%v/workers=%d/shards=%d", m, workers, shards)
+				c, err := NewCompressor(Config{
+					ErrorBound: eb, Mode: Absolute, Method: m,
+					Workers: workers, Shards: shards,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := NewDecompressorWorkers(workers)
+				var got []Frame
+				for _, b := range Batch(frames, 10) {
+					blk, err := c.CompressBatch(b)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					out, err := d.DecompressBatch(blk)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					got = append(got, out...)
+				}
+				if len(got) != len(frames) {
+					t.Fatalf("%s: %d frames, want %d", name, len(got), len(frames))
+				}
+				for ti := range frames {
+					for axis := 0; axis < 3; axis++ {
+						w := axisSeries(frames[ti:ti+1], axis)[0]
+						h := axisSeries(got[ti:ti+1], axis)[0]
+						for i := range w {
+							if e := math.Abs(w[i] - h[i]); e > eb {
+								t.Fatalf("%s: axis %d frame %d particle %d: error %v", name, axis, ti, i, e)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBlocksUseFormatV2 checks the inner per-axis block version:
+// single-shard blocks must keep the legacy version-1 layout, multi-shard
+// blocks must carry version 2.
+func TestShardedBlocksUseFormatV2(t *testing.T) {
+	frames := makeFrames(10, 200, 54)
+	for _, tc := range []struct {
+		shards  int
+		wantVer byte
+	}{{1, 1}, {0, 1} /* 200 particles → auto K=1 */, {4, 2}} {
+		c, _ := NewCompressor(Config{ErrorBound: 1e-3, Shards: tc.shards})
+		blk, err := c.CompressBatch(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Outer layout: "MDZS" | 3 × section(core block) | CRC32 footer.
+		// Each core block starts with "MDZB" followed by the version byte.
+		sec := blk[4:]
+		// Skip the uvarint section length (single byte for small blocks is
+		// not guaranteed, so scan for the core magic instead).
+		idx := bytes.Index(sec, []byte("MDZB"))
+		if idx < 0 {
+			t.Fatal("core block magic not found")
+		}
+		if ver := sec[idx+4]; ver != tc.wantVer {
+			t.Errorf("shards=%d: block version %d, want %d", tc.shards, ver, tc.wantVer)
+		}
+	}
+}
+
+// TestSeedFormatBlockStillDecodes decodes a block written by the
+// pre-sharding seed implementation (testdata fixture) and checks both the
+// error bound and that the current encoder reproduces it byte-for-byte
+// with Shards=1.
+func TestSeedFormatBlockStillDecodes(t *testing.T) {
+	seedBlk, err := os.ReadFile("testdata/seed_block_v1.bin")
+	if err != nil {
+		t.Skipf("fixture unavailable: %v", err)
+	}
+	frames := makeFrames(10, 500, 77) // exactly what generated the fixture
+	d := NewDecompressor()
+	got, err := d.DecompressBatch(seedBlk)
+	if err != nil {
+		t.Fatalf("seed-format block rejected: %v", err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	eps := 1e-3
+	for axis := 0; axis < 3; axis++ {
+		bound := eps * frameRange(frames, axis)
+		if bound == 0 {
+			bound = eps
+		}
+		for ti := range frames {
+			w := axisSeries(frames[ti:ti+1], axis)[0]
+			h := axisSeries(got[ti:ti+1], axis)[0]
+			for i := range w {
+				if e := math.Abs(w[i] - h[i]); e > bound+1e-15 {
+					t.Fatalf("axis %d frame %d particle %d: error %v > %v", axis, ti, i, e, bound)
+				}
+			}
+		}
+	}
+	// Byte-for-byte reproduction of the legacy layout with Shards=1.
+	c, _ := NewCompressor(Config{ErrorBound: eps, Shards: 1})
+	blk, err := c.CompressBatch(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blk, seedBlk) {
+		t.Error("Shards=1 output differs from the seed-format fixture")
+	}
+}
+
+// TestTruncatedFooter: blocks cut inside the CRC footer (or shorter) must
+// fail with a clean error, not a slice panic.
+func TestTruncatedFooter(t *testing.T) {
+	frames := makeFrames(5, 80, 55)
+	c, _ := NewCompressor(Config{ErrorBound: 1e-3})
+	blk, err := c.CompressBatch(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecompressor()
+	for cut := 0; cut <= 8; cut++ {
+		trunc := blk[:len(blk)-cut]
+		if cut == 0 {
+			if _, err := d.DecompressBatch(trunc); err != nil {
+				t.Fatalf("pristine block rejected: %v", err)
+			}
+			continue
+		}
+		if _, err := NewDecompressor().DecompressBatch(trunc); err == nil {
+			t.Errorf("cut=%d: truncated block accepted", cut)
+		}
+	}
+	for _, n := range []int{0, 1, 4, 5, 7} {
+		if _, err := NewDecompressor().DecompressBatch(blk[:n]); err == nil {
+			t.Errorf("len=%d: truncated block accepted", n)
+		}
+	}
+}
+
+// TestConcurrentCompressorsSharedDecompressorPool hammers one Compressor
+// per goroutine, each with internal shard/ADP parallelism, against a shared
+// sync.Pool of Decompressors — the pattern a multi-stream ingest server
+// would use. Run under -race this exercises the pool and scratch-buffer
+// sharing across goroutines. VQ keeps blocks self-contained so pooled
+// (stateful) decompressors can be reused across streams.
+func TestConcurrentCompressorsSharedDecompressorPool(t *testing.T) {
+	dpool := sync.Pool{New: func() any { return NewDecompressor() }}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			frames := makeFrames(12, 257, int64(100+g))
+			c, err := NewCompressor(Config{
+				ErrorBound: 1e-3, Mode: Absolute, Method: VQ,
+				Workers: 4, Shards: 3,
+			})
+			if err != nil {
+				errc <- err
+				return
+			}
+			for _, b := range Batch(frames, 4) {
+				blk, err := c.CompressBatch(b)
+				if err != nil {
+					errc <- err
+					return
+				}
+				d := dpool.Get().(*Decompressor)
+				out, err := d.DecompressBatch(blk)
+				dpool.Put(d)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for ti := range b {
+					for i := range b[ti].X {
+						if math.Abs(b[ti].X[i]-out[ti].X[i]) > 1e-3 {
+							errc <- fmt.Errorf("goroutine %d: bound violated", g)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

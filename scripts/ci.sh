@@ -1,0 +1,14 @@
+#!/bin/sh
+# CI gate: vet, build, full test suite, then the same suite under the race
+# detector. The race pass is what guards the sharded parallel pipeline —
+# run it locally before sending changes that touch internal/core,
+# internal/pool, or the Compressor/Decompressor concurrency model.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$'
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./...

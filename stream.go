@@ -10,7 +10,8 @@ import (
 
 // Writer compresses frames onto an io.Writer as a framed MDZ stream,
 // buffering BufferSize snapshots per block — the natural interface for
-// in-situ dumping from a running simulation.
+// in-situ dumping from a running simulation. Config.Workers and
+// Config.Shards govern the parallel pipeline exactly as in CompressBatch.
 //
 //	w := mdz.NewWriter(file, mdz.Config{ErrorBound: 1e-3})
 //	for step := ...; ; {
@@ -121,9 +122,17 @@ type Reader struct {
 	opened bool
 }
 
-// NewReader returns a Reader over r.
+// NewReader returns a Reader over r with the default worker pool
+// (GOMAXPROCS).
 func NewReader(r io.Reader) *Reader {
-	return &Reader{d: NewDecompressor(), r: bufio.NewReaderSize(r, 1<<20)}
+	return NewReaderWorkers(r, 0)
+}
+
+// NewReaderWorkers returns a Reader whose decompression parallelism is
+// bounded by workers (0 = GOMAXPROCS, 1 = serial); decoded frames are
+// identical for any worker count.
+func NewReaderWorkers(r io.Reader, workers int) *Reader {
+	return &Reader{d: NewDecompressorWorkers(workers), r: bufio.NewReaderSize(r, 1<<20)}
 }
 
 // ReadFrame returns the next frame, or io.EOF at end of stream.
