@@ -1,0 +1,207 @@
+package mdz
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestCheckpointStateSerializationRoundTrip checks MarshalBinary against
+// UnmarshalBinary bit-for-bit, including non-finite level origins and an
+// empty reference axis.
+func TestCheckpointStateSerializationRoundTrip(t *testing.T) {
+	st := &CheckpointState{Batch: 17}
+	st.Axes[0] = AxisState{
+		ErrorBound: 1e-3, QuantScale: 9, K: 12,
+		LevelDistance: 3.0001, LevelOrigin: -5.25,
+		Method: MT, Ref: []float64{1.5, -2.25, 0, math.Pi},
+	}
+	st.Axes[1] = AxisState{
+		ErrorBound: 1e-3, QuantScale: 9, K: 1,
+		LevelDistance: 1, LevelOrigin: 7.25,
+		Method: VQ, Ref: []float64{7.25, 7.25},
+	}
+	st.Axes[2] = AxisState{ErrorBound: 2e-3, QuantScale: 10, Method: VQT}
+
+	payload, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &CheckpointState{}
+	if err := got.UnmarshalBinary(payload); err != nil {
+		t.Fatal(err)
+	}
+	if got.Batch != st.Batch {
+		t.Errorf("batch = %d, want %d", got.Batch, st.Batch)
+	}
+	for axis := range st.Axes {
+		a, b := &st.Axes[axis], &got.Axes[axis]
+		if a.ErrorBound != b.ErrorBound || a.QuantScale != b.QuantScale ||
+			a.K != b.K || a.LevelDistance != b.LevelDistance ||
+			a.LevelOrigin != b.LevelOrigin || a.Method != b.Method {
+			t.Errorf("axis %d scalar state diverged: %+v vs %+v", axis, a, b)
+		}
+		if len(a.Ref) != len(b.Ref) {
+			t.Fatalf("axis %d ref length %d, want %d", axis, len(b.Ref), len(a.Ref))
+		}
+		for i := range a.Ref {
+			if math.Float64bits(a.Ref[i]) != math.Float64bits(b.Ref[i]) {
+				t.Errorf("axis %d ref[%d] diverged", axis, i)
+			}
+		}
+	}
+
+	// Every single-byte corruption must be detected or at worst decode
+	// without panicking; trailing garbage must be rejected.
+	if err := got.UnmarshalBinary(append(payload, 0)); !errors.Is(err, ErrCorruptBlock) {
+		t.Errorf("trailing byte: err=%v, want ErrCorruptBlock", err)
+	}
+	for i := 0; i < len(payload) && i < 8; i++ {
+		trunc := payload[:i]
+		if err := new(CheckpointState).UnmarshalBinary(trunc); err == nil {
+			t.Errorf("truncated payload (%d bytes) accepted", i)
+		}
+	}
+}
+
+// TestCompressorStateResume checks the writer-side contract behind
+// checkpoints: a fresh Compressor importing exported state continues the
+// stream with byte-identical blocks, per method and shard count.
+func TestCompressorStateResume(t *testing.T) {
+	frames := makeFrames(20, 180, 5)
+	for _, m := range []Method{VQ, VQT, MT, ADP} {
+		for _, shards := range []int{1, 4} {
+			cfg := Config{ErrorBound: 1e-3, Method: m, Shards: shards}
+			full, err := NewCompressor(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := full.CompressBatch(frames[i*5 : (i+1)*5]); err != nil {
+					t.Fatalf("%v/%d: batch %d: %v", m, shards, i, err)
+				}
+			}
+			st, err := full.ExportState()
+			if err != nil {
+				t.Fatalf("%v/%d: export: %v", m, shards, err)
+			}
+			// Pass the state through its wire format, as Writer does.
+			payload, err := st.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire := &CheckpointState{}
+			if err := wire.UnmarshalBinary(payload); err != nil {
+				t.Fatal(err)
+			}
+
+			resumed, err := NewCompressor(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := resumed.ImportState(wire); err != nil {
+				t.Fatalf("%v/%d: import: %v", m, shards, err)
+			}
+			for i := 2; i < 4; i++ {
+				want, err := full.CompressBatch(frames[i*5 : (i+1)*5])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := resumed.CompressBatch(frames[i*5 : (i+1)*5])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, got) {
+					t.Errorf("%v/%d: batch %d diverged after checkpoint resume", m, shards, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDecompressorStateReseed checks the reader-side contract: importing a
+// checkpoint lets a fresh Decompressor decode later blocks bit-identically
+// to a decoder that saw the whole stream.
+func TestDecompressorStateReseed(t *testing.T) {
+	frames := makeFrames(15, 160, 11)
+	c, err := NewCompressor(Config{ErrorBound: 1e-3, Method: ADP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blks [][]byte
+	for i := 0; i < 3; i++ {
+		blk, err := c.CompressBatch(frames[i*5 : (i+1)*5])
+		if err != nil {
+			t.Fatal(err)
+		}
+		blks = append(blks, blk)
+	}
+	st, err := c.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cont := NewDecompressor()
+	var want []Frame
+	for _, blk := range blks {
+		out, err := cont.DecompressBatch(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = out
+	}
+	if !cont.seeded() {
+		t.Fatal("continuous decompressor not seeded after block 0")
+	}
+	if !cont.stateMatches(st) {
+		t.Error("continuous decoder state disagrees with exported checkpoint")
+	}
+
+	fresh := NewDecompressor()
+	if fresh.seeded() {
+		t.Fatal("fresh decompressor claims to be seeded")
+	}
+	if err := fresh.ImportState(st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fresh.DecompressBatch(blks[2])
+	if err != nil {
+		t.Fatalf("reseeded decode: %v", err)
+	}
+	for ti := range want {
+		for i := range want[ti].X {
+			if want[ti].X[i] != got[ti].X[i] || want[ti].Y[i] != got[ti].Y[i] || want[ti].Z[i] != got[ti].Z[i] {
+				t.Fatalf("reseeded decode diverged at t=%d i=%d", ti, i)
+			}
+		}
+	}
+}
+
+// TestCheckpointGuards covers the refusal paths of the state APIs.
+func TestCheckpointGuards(t *testing.T) {
+	c, err := NewCompressor(Config{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExportState(); err == nil {
+		t.Error("ExportState before first batch succeeded")
+	}
+	if _, err := c.CompressBatch(makeFrames(3, 50, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ImportState(st); !errors.Is(err, ErrStateDesync) {
+		t.Errorf("ImportState on used compressor: err=%v, want ErrStateDesync", err)
+	}
+
+	// A checkpoint with a missing axis reference cannot reseed a reader.
+	broken := *st
+	broken.Axes[1].Ref = nil
+	if err := NewDecompressor().ImportState(&broken); !errors.Is(err, ErrStateDesync) {
+		t.Errorf("ImportState without axis ref: err=%v, want ErrStateDesync", err)
+	}
+}

@@ -5,11 +5,15 @@
 //	mdzc -c traj.mdzd -o traj.mdz            # compress (eps=1E-3, BS=10)
 //	mdzc -c traj.xyz  -o traj.mdz            # XYZ text trajectories work too
 //	mdzc -c traj.mdzd -o traj.mdz -eps 1e-4 -bs 50 -method MT
+//	mdzc -c traj.mdzd -o traj.mdz -checkpoint 8  # recoverable framed stream
 //	mdzc -d traj.mdz -o restored.mdzd        # decompress (or -o restored.xyz)
+//	mdzc -d traj.mdz -o restored.mdzd -salvage   # recover what a corrupt stream still holds
+//	mdzc -fsck traj.mdz                      # verify framing + CRCs, report salvageable ranges
 //	mdzc -info traj.mdz                      # stream statistics
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -26,22 +30,27 @@ func main() {
 	compress := flag.String("c", "", "compress: input .mdzd path")
 	decompress := flag.String("d", "", "decompress: input .mdz path")
 	info := flag.String("info", "", "print stream statistics for a .mdz path")
+	fsck := flag.String("fsck", "", "verify framing and checksums of a .mdz path, reporting salvageable ranges")
 	out := flag.String("o", "", "output path")
 	eps := flag.Float64("eps", 1e-3, "value-range-based error bound")
 	bs := flag.Int("bs", 10, "buffer size (snapshots per batch)")
 	method := flag.String("method", "ADP", "compression method: ADP, VQ, VQT, MT")
+	checkpoint := flag.Int("checkpoint", 0, "with -c: write a recoverable framed stream with a checkpoint every N blocks (0 = one-shot format)")
+	salvage := flag.Bool("salvage", false, "with -d: recover everything readable from a corrupt stream instead of failing")
 	flag.Parse()
 
 	var err error
 	switch {
 	case *compress != "":
-		err = doCompress(*compress, *out, *eps, *bs, *method)
+		err = doCompress(*compress, *out, *eps, *bs, *method, *checkpoint)
 	case *decompress != "":
-		err = doDecompress(*decompress, *out)
+		err = doDecompress(*decompress, *out, *salvage)
 	case *info != "":
 		err = doInfo(*info)
+	case *fsck != "":
+		err = doFsck(*fsck)
 	default:
-		fmt.Fprintln(os.Stderr, "mdzc: one of -c, -d, -info required (see -h)")
+		fmt.Fprintln(os.Stderr, "mdzc: one of -c, -d, -info, -fsck required (see -h)")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -64,7 +73,7 @@ func parseMethod(s string) (mdz.Method, error) {
 	return mdz.ADP, fmt.Errorf("unknown method %q", s)
 }
 
-func doCompress(in, out string, eps float64, bs int, methodName string) error {
+func doCompress(in, out string, eps float64, bs int, methodName string, checkpoint int) error {
 	if out == "" {
 		return fmt.Errorf("-o required")
 	}
@@ -80,11 +89,31 @@ func doCompress(in, out string, eps float64, bs int, methodName string) error {
 	for i, f := range d.Frames {
 		frames[i] = mdz.Frame{X: f.X, Y: f.Y, Z: f.Z}
 	}
-	stream, err := mdz.Compress(frames, mdz.Config{
-		ErrorBound: eps, Method: m, BufferSize: bs,
-	})
-	if err != nil {
-		return err
+	cfg := mdz.Config{ErrorBound: eps, Method: m, BufferSize: bs}
+	var stream []byte
+	if checkpoint > 0 {
+		// Framed stream with embedded recovery checkpoints: survivable by
+		// -salvage and checkable by -fsck.
+		cfg.CheckpointInterval = checkpoint
+		var sb bytes.Buffer
+		w, err := mdz.NewWriter(&sb, cfg)
+		if err != nil {
+			return err
+		}
+		for _, f := range frames {
+			if err := w.WriteFrame(f); err != nil {
+				return err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		stream = sb.Bytes()
+	} else {
+		stream, err = mdz.Compress(frames, cfg)
+		if err != nil {
+			return err
+		}
 	}
 	var buf []byte
 	buf = append(buf, fileMagic...)
@@ -144,17 +173,84 @@ func parseContainer(path string) (meta [3]string, stream []byte, err error) {
 	return meta, buf[:n], nil
 }
 
-func doDecompress(in, out string) error {
+// decodeStream sniffs the payload magic and decodes it with the matching
+// reader: one-shot "MDZF" via Decompress, framed "MDZW"/"MDZ2" streams via
+// the stream Reader. Salvage mode (framed streams only) recovers what it
+// can and returns the reader's accounting alongside the frames.
+func decodeStream(stream []byte, salvage bool) ([]mdz.Frame, *mdz.SalvageStats, error) {
+	if len(stream) >= 4 {
+		switch string(stream[:4]) {
+		case "MDZW", "MDZ2":
+			r := mdz.NewReaderWith(bytes.NewReader(stream), mdz.ReaderOptions{Resync: salvage})
+			frames, err := r.ReadAll()
+			if err != nil {
+				return frames, nil, err
+			}
+			stats := r.SalvageStats()
+			return frames, &stats, nil
+		}
+	}
+	if salvage {
+		return nil, nil, fmt.Errorf("-salvage requires a framed stream (got a one-shot payload)")
+	}
+	frames, err := mdz.Decompress(stream)
+	return frames, nil, err
+}
+
+// parseContainerLenient parses as much of a possibly-damaged container as
+// it can: metadata best-effort, and whatever payload bytes are actually
+// present even if the recorded length claims more (truncated file).
+func parseContainerLenient(path string) (meta [3]string, stream []byte, err error) {
+	meta, stream, err = parseContainer(path)
+	if err == nil {
+		return meta, stream, nil
+	}
+	buf, rerr := os.ReadFile(path)
+	if rerr != nil {
+		return meta, nil, rerr
+	}
+	if len(buf) < 4 || string(buf[:4]) != fileMagic {
+		return meta, nil, err
+	}
+	rest := buf[4:]
+	for i := range meta {
+		var s string
+		s, rest, rerr = readString(rest)
+		if rerr != nil {
+			return meta, nil, err
+		}
+		meta[i] = s
+	}
+	if len(rest) < 8 {
+		return meta, nil, err
+	}
+	return meta, rest[8:], nil
+}
+
+func doDecompress(in, out string, salvage bool) error {
 	if out == "" {
 		return fmt.Errorf("-o required")
 	}
-	meta, stream, err := parseContainer(in)
+	var meta [3]string
+	var stream []byte
+	var err error
+	if salvage {
+		meta, stream, err = parseContainerLenient(in)
+	} else {
+		meta, stream, err = parseContainer(in)
+	}
 	if err != nil {
 		return err
 	}
-	frames, err := mdz.Decompress(stream)
+	frames, stats, err := decodeStream(stream, salvage)
 	if err != nil {
 		return err
+	}
+	if stats != nil && stats.FirstError != nil {
+		fmt.Fprintf(os.Stderr, "mdzc: salvage: first corrupt block %d at offset %d: %v\n",
+			stats.FirstError.Block, stats.FirstError.Offset, stats.FirstError.Cause)
+		fmt.Fprintf(os.Stderr, "mdzc: salvage: recovered %d snapshots (%d frames dropped, %d corrupt, truncated=%v)\n",
+			len(frames), stats.DroppedFrames, stats.CorruptFrames, stats.Truncated)
 	}
 	d := &dataset.Dataset{Meta: dataset.Metadata{Name: meta[0], State: meta[1], Code: meta[2]}}
 	for _, f := range frames {
@@ -167,12 +263,53 @@ func doDecompress(in, out string) error {
 	return nil
 }
 
+// doFsck verifies the framing and checksums of every block without writing
+// any output: clean streams report their totals and exit 0; damaged ones
+// report the first corrupt block's index and byte offset, plus what a
+// salvage pass would recover, and exit non-zero.
+func doFsck(in string) error {
+	_, stream, err := parseContainerLenient(in)
+	if err != nil {
+		return err
+	}
+	if len(stream) >= 4 && string(stream[:4]) == "MDZF" {
+		// One-shot payload: no framing to walk, so verify by decoding.
+		frames, err := mdz.Decompress(stream)
+		if err != nil {
+			fmt.Printf("%s: one-shot payload FAILED verification: %v\n", in, err)
+			return fmt.Errorf("fsck: %s is corrupt", in)
+		}
+		fmt.Printf("%s: ok (one-shot payload, %d snapshots)\n", in, len(frames))
+		return nil
+	}
+	r := mdz.NewReaderWith(bytes.NewReader(stream), mdz.ReaderOptions{Resync: true})
+	frames, err := r.ReadAll()
+	if err != nil {
+		return err // hard I/O failure, not a verification verdict
+	}
+	stats := r.SalvageStats()
+	if stats.FirstError == nil && !stats.Truncated {
+		fmt.Printf("%s: ok (%d snapshots, %d corrupt frames)\n", in, len(frames), stats.CorruptFrames)
+		return nil
+	}
+	if stats.FirstError != nil {
+		fmt.Printf("%s: first corrupt block %d at offset %d: %v\n",
+			in, stats.FirstError.Block, stats.FirstError.Offset, stats.FirstError.Cause)
+	}
+	fmt.Printf("%s: salvageable: %d snapshots (%d known dropped, %d blocks skipped, %d bytes unreadable, truncated=%v)\n",
+		in, len(frames), stats.DroppedFrames, stats.SkippedBlocks, stats.SkippedBytes, stats.Truncated)
+	for _, lr := range stats.LostRanges {
+		fmt.Printf("%s: lost frames [%d, %d)\n", in, lr.From, lr.To)
+	}
+	return fmt.Errorf("fsck: %s is corrupt", in)
+}
+
 func doInfo(in string) error {
 	meta, stream, err := parseContainer(in)
 	if err != nil {
 		return err
 	}
-	frames, err := mdz.Decompress(stream)
+	frames, _, err := decodeStream(stream, false)
 	if err != nil {
 		return err
 	}

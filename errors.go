@@ -1,0 +1,68 @@
+package mdz
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/mdz/mdz/internal/bitstream"
+	"github.com/mdz/mdz/internal/core"
+)
+
+// Sentinel errors for corrupt or unreadable input. Every decode-side
+// failure path in this package wraps one of them, so callers can classify
+// failures with errors.Is regardless of the exact message:
+//
+//	ErrCorruptBlock — a block or stream frame failed validation (bad magic,
+//	  CRC mismatch, malformed section, undecodable payload);
+//	ErrTruncated — the input ended before a complete value, block or
+//	  stream trailer (torn write, partial download);
+//	ErrStateDesync — blocks were presented out of order, or a checkpoint
+//	  disagrees with the decoder's reconstructed state.
+var (
+	ErrCorruptBlock = errors.New("mdz: corrupt block")
+	ErrTruncated    = errors.New("mdz: truncated input")
+	ErrStateDesync  = errors.New("mdz: decoder state desync")
+)
+
+// CorruptBlockError reports a corrupt frame in a framed stream: which
+// block, where in the byte stream, and why. It matches ErrCorruptBlock
+// under errors.Is and exposes the underlying cause via Unwrap.
+type CorruptBlockError struct {
+	// Block is the frame sequence number (the expected one, if the frame
+	// was too damaged to read its own).
+	Block uint32
+	// Offset is the absolute byte offset of the frame start in the stream.
+	Offset int64
+	// Cause is the underlying validation failure.
+	Cause error
+}
+
+// Error implements error.
+func (e *CorruptBlockError) Error() string {
+	return fmt.Sprintf("mdz: corrupt block %d at offset %d: %v", e.Block, e.Offset, e.Cause)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *CorruptBlockError) Unwrap() error { return e.Cause }
+
+// Is reports equivalence to the ErrCorruptBlock sentinel.
+func (e *CorruptBlockError) Is(target error) bool { return target == ErrCorruptBlock }
+
+// mapBlockErr classifies an error from the block decode path under the
+// package sentinels: out-of-order blocks and state mismatches become
+// ErrStateDesync, short inputs ErrTruncated, everything else
+// ErrCorruptBlock. Errors already carrying a sentinel pass through.
+func mapBlockErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrCorruptBlock) || errors.Is(err, ErrTruncated) || errors.Is(err, ErrStateDesync):
+		return err
+	case errors.Is(err, core.ErrOrder) || errors.Is(err, core.ErrState):
+		return fmt.Errorf("%w: %w", ErrStateDesync, err)
+	case errors.Is(err, bitstream.ErrShortStream):
+		return fmt.Errorf("%w: %w", ErrTruncated, err)
+	default:
+		return fmt.Errorf("%w: %w", ErrCorruptBlock, err)
+	}
+}

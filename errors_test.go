@@ -1,0 +1,135 @@
+package mdz
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestCorruptPathsReturnSentinels feeds every corrupt-input path a
+// malformed input and asserts the error matches one of the package
+// sentinels via errors.Is, so callers can classify failures without
+// string matching.
+func TestCorruptPathsReturnSentinels(t *testing.T) {
+	frames := makeFrames(6, 80, 3)
+	c, err := NewCompressor(Config{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := c.CompressBatch(frames[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk2, err := c.CompressBatch(frames[3:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := Compress(frames, Config{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	isSentinel := func(err error) bool {
+		return errors.Is(err, ErrCorruptBlock) || errors.Is(err, ErrTruncated) || errors.Is(err, ErrStateDesync)
+	}
+
+	cases := []struct {
+		name string
+		err  func() error
+		want error // specific sentinel, or nil for "any sentinel"
+	}{
+		{"block: bad magic", func() error {
+			_, err := NewDecompressor().DecompressBatch([]byte("XXXX rest"))
+			return err
+		}, ErrCorruptBlock},
+		{"block: truncated footer", func() error {
+			_, err := NewDecompressor().DecompressBatch(blk[:6])
+			return err
+		}, ErrTruncated},
+		{"block: checksum flip", func() error {
+			bad := append([]byte(nil), blk...)
+			bad[len(bad)/2] ^= 1
+			_, err := NewDecompressor().DecompressBatch(bad)
+			return err
+		}, ErrCorruptBlock},
+		{"block: truncated body", func() error {
+			_, err := NewDecompressor().DecompressBatch(blk[:len(blk)-20])
+			return err
+		}, nil},
+		{"block: out of order", func() error {
+			_, err := NewDecompressor().DecompressBatch(blk2)
+			return err
+		}, nil}, // ErrStateDesync for MT-bearing streams, else decodes
+		{"one-shot: bad magic", func() error {
+			_, err := Decompress([]byte("NOPE...."))
+			return err
+		}, ErrCorruptBlock},
+		{"one-shot: truncated", func() error {
+			_, err := Decompress(oneShot[:len(oneShot)-9])
+			return err
+		}, nil},
+		{"stream: bad magic", func() error {
+			_, err := NewReader(bytes.NewReader([]byte("GARBAGE!"))).ReadFrame()
+			return err
+		}, ErrCorruptBlock},
+		{"stream: partial magic", func() error {
+			_, err := NewReader(bytes.NewReader([]byte("MD"))).ReadFrame()
+			return err
+		}, ErrTruncated},
+		{"checkpoint: garbage", func() error {
+			return new(CheckpointState).UnmarshalBinary([]byte{9, 9, 9})
+		}, ErrCorruptBlock},
+		{"checkpoint: empty", func() error {
+			return new(CheckpointState).UnmarshalBinary(nil)
+		}, ErrCorruptBlock},
+	}
+	for _, tc := range cases {
+		err := tc.err()
+		if tc.want == nil {
+			if err != nil && !isSentinel(err) {
+				t.Errorf("%s: error not typed: %v", tc.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestOutOfOrderBlocksDesync pins the ErrStateDesync path: an MT block
+// presented to a fresh decompressor must be refused as out-of-order.
+func TestOutOfOrderBlocksDesync(t *testing.T) {
+	frames := makeFrames(6, 80, 19)
+	c, err := NewCompressor(Config{ErrorBound: 1e-3, Method: MT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CompressBatch(frames[:3]); err != nil {
+		t.Fatal(err)
+	}
+	blk2, err := c.CompressBatch(frames[3:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDecompressor().DecompressBatch(blk2); !errors.Is(err, ErrStateDesync) {
+		t.Errorf("out-of-order MT block: err = %v, want ErrStateDesync", err)
+	}
+}
+
+// TestCorruptBlockErrorShape checks the typed error's fields and matching
+// behavior.
+func TestCorruptBlockErrorShape(t *testing.T) {
+	cause := errors.New("inner")
+	e := &CorruptBlockError{Block: 7, Offset: 1234, Cause: cause}
+	if !errors.Is(e, ErrCorruptBlock) {
+		t.Error("CorruptBlockError does not match ErrCorruptBlock")
+	}
+	if !errors.Is(e, cause) {
+		t.Error("CorruptBlockError does not unwrap to its cause")
+	}
+	var got *CorruptBlockError
+	if !errors.As(error(e), &got) || got.Block != 7 || got.Offset != 1234 {
+		t.Error("errors.As lost the block/offset fields")
+	}
+}

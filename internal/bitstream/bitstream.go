@@ -261,6 +261,27 @@ func AppendFloat64(dst []byte, f float64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
 }
 
+// AppendFloat64s appends each value's IEEE-754 bits little-endian, in
+// order — the flat layout used by checkpoint reference snapshots.
+func AppendFloat64s(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeFloat64s inverts AppendFloat64s over the whole buffer, appending
+// the decoded values to dst. The buffer length must be a multiple of 8.
+func DecodeFloat64s(dst []float64, buf []byte) ([]float64, error) {
+	if len(buf)%8 != 0 {
+		return nil, ErrShortStream
+	}
+	for off := 0; off < len(buf); off += 8 {
+		dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])))
+	}
+	return dst, nil
+}
+
 // Uint64At reads a little-endian uint64 at offset off.
 func Uint64At(buf []byte, off int) (uint64, error) {
 	if off+8 > len(buf) {

@@ -199,6 +199,18 @@ const (
 // ErrCorrupt is returned for malformed blocks.
 var ErrCorrupt = errors.New("core: corrupt MDZ block")
 
+// corrupt wraps a low-level parse error so errors.Is(err, ErrCorrupt)
+// holds while the underlying cause stays inspectable.
+func corrupt(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrCorrupt, err)
+}
+
 // ErrOrder is returned when a Decoder receives blocks out of order.
 var ErrOrder = errors.New("core: MT block requires the preceding blocks to be decoded first")
 
@@ -823,7 +835,7 @@ func parseHeader(blk []byte) (*header, error) {
 	h := &header{}
 	mByte, err := br.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	h.method = Method(mByte)
 	if h.method != VQ && h.method != VQT && h.method != MT {
@@ -831,49 +843,49 @@ func parseHeader(blk []byte) (*header, error) {
 	}
 	seqByte, err := br.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	h.seq = Sequence(seqByte)
 	if h.firstPred, err = br.ReadByte(); err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	if h.eb, err = br.ReadFloat64(); err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	scale, err := br.ReadUvarint()
 	if err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	h.scale = int(scale)
 	bs64, err := br.ReadUvarint()
 	if err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	n64, err := br.ReadUvarint()
 	if err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	h.bs, h.n = int(bs64), int(n64)
 	if h.bs <= 0 || h.n < 0 || uint64(h.bs)*uint64(h.n) > 1<<33 {
 		return nil, ErrCorrupt
 	}
 	if h.lam, err = br.ReadFloat64(); err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	if h.mu, err = br.ReadFloat64(); err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	if ver == formatVer1 {
 		body, err := br.ReadSection()
 		if err != nil {
-			return nil, err
+			return nil, corrupt(err)
 		}
 		h.shards = []shardSec{{particles: h.n, body: body}}
 		return h, nil
 	}
 	k64, err := br.ReadUvarint()
 	if err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	if k64 < 1 || k64 > MaxShards || int(k64) > h.n {
 		return nil, ErrCorrupt
@@ -883,7 +895,7 @@ func parseHeader(blk []byte) (*header, error) {
 	for s := range h.shards {
 		particles, body, err := br.ReadShardSection()
 		if err != nil {
-			return nil, err
+			return nil, corrupt(err)
 		}
 		if particles <= 0 || particles > h.n {
 			return nil, ErrCorrupt
@@ -892,6 +904,17 @@ func parseHeader(blk []byte) (*header, error) {
 		sum += particles
 	}
 	if sum != h.n {
+		return nil, ErrCorrupt
+	}
+	// A forged header can pair a huge claimed geometry with a tiny payload,
+	// tricking the decoder into allocating bs×n values it can never fill.
+	// Even a constant axis needs well over a byte of payload per few
+	// thousand values, so reject implausible expansion claims up front.
+	body := 0
+	for _, sh := range h.shards {
+		body += len(sh.body)
+	}
+	if uint64(h.bs)*uint64(h.n) > uint64(body+1)*8192 {
 		return nil, ErrCorrupt
 	}
 	return h, nil
@@ -903,7 +926,7 @@ func parseHeader(blk []byte) (*header, error) {
 func (d *Decoder) sections(body []byte, bs, sn int, sc *decodeScratch) (bins, levels []int, outliers []byte, err error) {
 	payload, err := d.p.Backend.Decompress(body)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, corrupt(err)
 	}
 	pr := bitstream.NewByteReader(payload)
 	var binsBuf, levelsBuf []int
@@ -911,16 +934,16 @@ func (d *Decoder) sections(body []byte, bs, sn int, sc *decodeScratch) (bins, le
 		binsBuf, levelsBuf = sc.bins, sc.levels
 	}
 	if bins, err = huffman.DecodeIntsBuf(pr, binsBuf); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, corrupt(err)
 	}
 	if levels, err = huffman.DecodeIntsBuf(pr, levelsBuf); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, corrupt(err)
 	}
 	if sc != nil {
 		sc.bins, sc.levels = bins, levels
 	}
 	if outliers, err = pr.ReadSection(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, corrupt(err)
 	}
 	if len(bins) != bs*sn {
 		return nil, nil, nil, ErrCorrupt

@@ -1,0 +1,226 @@
+// Package faultio provides deterministic I/O fault injection for stream
+// robustness tests: bit flips, zeroed ranges, truncations, torn writes and
+// mid-stream errors, all at explicit byte offsets, plus seeded read/write
+// fragmentation so partial-transfer handling is exercised on every run.
+//
+// Faults are positional and deterministic by construction — the same fault
+// list applied to the same byte stream always yields the same damage — so a
+// failing case can be replayed from its seed alone.
+package faultio
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+)
+
+// ErrInjected is returned by fault points of kind Error.
+var ErrInjected = errors.New("faultio: injected I/O error")
+
+// Kind selects the damage a Fault inflicts.
+type Kind int
+
+const (
+	// FlipBit XORs bit Bit (0-7) of the byte at Offset.
+	FlipBit Kind = iota
+	// ZeroRange zeroes Len bytes starting at Offset.
+	ZeroRange
+	// Truncate ends the stream at Offset: a Reader reports io.EOF, a
+	// Writer silently discards everything past it (a torn write — the
+	// producer believes the write succeeded, as after a crash).
+	Truncate
+	// Error fails with ErrInjected once the stream position reaches
+	// Offset.
+	Error
+)
+
+// Fault is one deterministic fault anchored at an absolute byte offset of
+// the wrapped stream.
+type Fault struct {
+	Kind   Kind
+	Offset int64
+	Bit    uint  // FlipBit: bit index 0-7
+	Len    int64 // ZeroRange: byte count
+}
+
+// Corrupt applies faults to an in-memory stream image and returns the
+// damaged copy. Truncate shortens the result; Error faults are ignored
+// (they only make sense on live I/O). Faults beyond the data are no-ops.
+func Corrupt(data []byte, faults ...Fault) []byte {
+	out := append([]byte(nil), data...)
+	for _, f := range faults {
+		switch f.Kind {
+		case FlipBit:
+			if f.Offset >= 0 && f.Offset < int64(len(out)) {
+				out[f.Offset] ^= 1 << (f.Bit & 7)
+			}
+		case ZeroRange:
+			for i := int64(0); i < f.Len; i++ {
+				if p := f.Offset + i; p >= 0 && p < int64(len(out)) {
+					out[p] = 0
+				}
+			}
+		case Truncate:
+			if f.Offset >= 0 && f.Offset < int64(len(out)) {
+				out = out[:f.Offset]
+			}
+		}
+	}
+	return out
+}
+
+// Reader wraps an io.Reader and injects faults at their offsets as the
+// stream flows through it.
+type Reader struct {
+	r      io.Reader
+	off    int64
+	faults []Fault
+	rng    *rand.Rand
+	failed bool
+}
+
+// NewReader returns a fault-injecting reader over r.
+func NewReader(r io.Reader, faults ...Fault) *Reader {
+	return &Reader{r: r, faults: append([]Fault(nil), faults...)}
+}
+
+// Fragment makes every Read return a short, seeded-random prefix of what
+// was asked for (always at least one byte), exercising the caller's
+// partial-read paths. Returns the receiver for chaining.
+func (r *Reader) Fragment(seed int64) *Reader {
+	r.rng = rand.New(rand.NewSource(seed))
+	return r
+}
+
+// Read implements io.Reader with the configured faults applied.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.failed {
+		return 0, ErrInjected
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	// Stop short of the nearest barrier fault (Truncate or Error) so the
+	// bytes before it flow through undamaged.
+	limit := int64(len(p))
+	for _, f := range r.faults {
+		if f.Kind != Truncate && f.Kind != Error {
+			continue
+		}
+		if f.Offset <= r.off {
+			if f.Kind == Truncate {
+				return 0, io.EOF
+			}
+			r.failed = true
+			return 0, ErrInjected
+		}
+		if d := f.Offset - r.off; d < limit {
+			limit = d
+		}
+	}
+	if r.rng != nil && limit > 1 {
+		limit = 1 + r.rng.Int63n(limit)
+	}
+	n, err := r.r.Read(p[:limit])
+	// Damage the bytes that just passed through.
+	for _, f := range r.faults {
+		switch f.Kind {
+		case FlipBit:
+			if f.Offset >= r.off && f.Offset < r.off+int64(n) {
+				p[f.Offset-r.off] ^= 1 << (f.Bit & 7)
+			}
+		case ZeroRange:
+			for i := int64(0); i < f.Len; i++ {
+				if q := f.Offset + i; q >= r.off && q < r.off+int64(n) {
+					p[q-r.off] = 0
+				}
+			}
+		}
+	}
+	r.off += int64(n)
+	return n, err
+}
+
+// Writer wraps an io.Writer and injects faults at their offsets as data is
+// written through it.
+type Writer struct {
+	w      io.Writer
+	off    int64
+	faults []Fault
+	rng    *rand.Rand
+	torn   bool
+	failed bool
+}
+
+// NewWriter returns a fault-injecting writer over w.
+func NewWriter(w io.Writer, faults ...Fault) *Writer {
+	return &Writer{w: w, faults: append([]Fault(nil), faults...)}
+}
+
+// Fragment makes Write push data through in short, seeded-random pieces
+// (stress-testing downstream partial-write handling without changing the
+// bytes). Returns the receiver for chaining.
+func (w *Writer) Fragment(seed int64) *Writer {
+	w.rng = rand.New(rand.NewSource(seed))
+	return w
+}
+
+// Write implements io.Writer with the configured faults applied. After a
+// Truncate fault the tail is silently dropped while Write keeps reporting
+// success, modeling a torn write that the producer never observes.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.failed {
+		return 0, ErrInjected
+	}
+	if w.torn {
+		w.off += int64(len(p))
+		return len(p), nil
+	}
+	buf := append([]byte(nil), p...)
+	for _, f := range w.faults {
+		switch f.Kind {
+		case FlipBit:
+			if f.Offset >= w.off && f.Offset < w.off+int64(len(buf)) {
+				buf[f.Offset-w.off] ^= 1 << (f.Bit & 7)
+			}
+		case ZeroRange:
+			for i := int64(0); i < f.Len; i++ {
+				if q := f.Offset + i; q >= w.off && q < w.off+int64(len(buf)) {
+					buf[q-w.off] = 0
+				}
+			}
+		}
+	}
+	written := 0
+	for written < len(buf) {
+		chunk := buf[written:]
+		// Honor the nearest barrier fault inside this chunk.
+		for _, f := range w.faults {
+			if f.Kind != Truncate && f.Kind != Error {
+				continue
+			}
+			if f.Offset <= w.off {
+				if f.Kind == Truncate {
+					w.torn = true
+					w.off += int64(len(p) - written)
+					return len(p), nil
+				}
+				w.failed = true
+				return written, ErrInjected
+			}
+			if d := f.Offset - w.off; d < int64(len(chunk)) {
+				chunk = chunk[:d]
+			}
+		}
+		if w.rng != nil && len(chunk) > 1 {
+			chunk = chunk[:1+w.rng.Intn(len(chunk))]
+		}
+		n, err := w.w.Write(chunk)
+		w.off += int64(n)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,119 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func seqBytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestCorrupt(t *testing.T) {
+	src := seqBytes(16)
+	out := Corrupt(src,
+		Fault{Kind: FlipBit, Offset: 3, Bit: 7},
+		Fault{Kind: ZeroRange, Offset: 8, Len: 4},
+		Fault{Kind: Truncate, Offset: 14},
+	)
+	if len(out) != 14 {
+		t.Fatalf("truncated length = %d, want 14", len(out))
+	}
+	if out[3] != 3^0x80 {
+		t.Errorf("bit flip: out[3] = %#x, want %#x", out[3], 3^0x80)
+	}
+	for i := 8; i < 12; i++ {
+		if out[i] != 0 {
+			t.Errorf("zero range: out[%d] = %#x, want 0", i, out[i])
+		}
+	}
+	if src[3] != 3 || src[8] != 8 {
+		t.Error("Corrupt mutated its input")
+	}
+	// Out-of-range faults are no-ops.
+	if got := Corrupt(src, Fault{Kind: FlipBit, Offset: 99}); !bytes.Equal(got, src) {
+		t.Error("out-of-range fault changed the data")
+	}
+}
+
+func TestReaderFaults(t *testing.T) {
+	src := seqBytes(64)
+
+	r := NewReader(bytes.NewReader(src),
+		Fault{Kind: FlipBit, Offset: 10, Bit: 0},
+		Fault{Kind: ZeroRange, Offset: 20, Len: 5},
+	).Fragment(1)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	want := Corrupt(src,
+		Fault{Kind: FlipBit, Offset: 10, Bit: 0},
+		Fault{Kind: ZeroRange, Offset: 20, Len: 5},
+	)
+	if !bytes.Equal(got, want) {
+		t.Errorf("fragmented faulty read diverged from Corrupt image")
+	}
+
+	r = NewReader(bytes.NewReader(src), Fault{Kind: Truncate, Offset: 17})
+	got, err = io.ReadAll(r)
+	if err != nil || len(got) != 17 {
+		t.Errorf("truncated read: n=%d err=%v, want 17 <nil>", len(got), err)
+	}
+
+	r = NewReader(bytes.NewReader(src), Fault{Kind: Error, Offset: 9})
+	got, err = io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) || len(got) != 9 {
+		t.Errorf("error fault: n=%d err=%v, want 9 ErrInjected", len(got), err)
+	}
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Error("error fault is not sticky")
+	}
+}
+
+func TestWriterFaults(t *testing.T) {
+	src := seqBytes(64)
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf,
+		Fault{Kind: FlipBit, Offset: 5, Bit: 3},
+		Fault{Kind: ZeroRange, Offset: 30, Len: 8},
+	).Fragment(2)
+	for i := 0; i < len(src); i += 16 {
+		if n, err := w.Write(src[i : i+16]); n != 16 || err != nil {
+			t.Fatalf("Write: n=%d err=%v", n, err)
+		}
+	}
+	want := Corrupt(src,
+		Fault{Kind: FlipBit, Offset: 5, Bit: 3},
+		Fault{Kind: ZeroRange, Offset: 30, Len: 8},
+	)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("fragmented faulty write diverged from Corrupt image")
+	}
+
+	// Torn write: producer sees success, sink holds only the prefix.
+	buf.Reset()
+	w = NewWriter(&buf, Fault{Kind: Truncate, Offset: 23})
+	for i := 0; i < len(src); i += 16 {
+		if n, err := w.Write(src[i : i+16]); n != 16 || err != nil {
+			t.Fatalf("torn Write reported n=%d err=%v", n, err)
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), src[:23]) {
+		t.Errorf("torn write sink holds %d bytes, want 23", buf.Len())
+	}
+
+	buf.Reset()
+	w = NewWriter(&buf, Fault{Kind: Error, Offset: 23})
+	n, err := w.Write(src)
+	if !errors.Is(err, ErrInjected) || n != 23 {
+		t.Errorf("error fault: n=%d err=%v, want 23 ErrInjected", n, err)
+	}
+}

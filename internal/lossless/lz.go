@@ -176,7 +176,13 @@ func (z LZ) Decompress(src []byte) ([]byte, error) {
 		return nil, err
 	}
 
-	out := make([]byte, 0, origSize)
+	// Trust origSize only as an upper bound enforced below, not as an
+	// allocation hint: a forged value must not trigger a giant make.
+	capHint := origSize
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	out := make([]byte, 0, capHint)
 	sr := bitstream.NewByteReader(seq)
 	litPos := 0
 	for sr.Len() > 0 {
@@ -193,6 +199,9 @@ func (z LZ) Decompress(src []byte) ([]byte, error) {
 			return nil, err
 		}
 		if litPos+int(litRun) > len(literals) {
+			return nil, ErrCorrupt
+		}
+		if uint64(len(out))+litRun+mLen > origSize {
 			return nil, ErrCorrupt
 		}
 		out = append(out, literals[litPos:litPos+int(litRun)]...)

@@ -103,6 +103,14 @@ type Config struct {
 	// BufferSize is the batch size used by the one-shot Compress helper
 	// (default 10). CompressBatch callers control batching themselves.
 	BufferSize int
+	// CheckpointInterval makes Writer emit a checkpoint block after every
+	// CheckpointInterval data blocks. Checkpoints carry the decoder state
+	// needed to restart mid-stream (per-axis k-means levels, the quantized
+	// snapshot-0 reference and the batch index), so a resyncing Reader can
+	// recover everything after the first checkpoint that follows a corrupt
+	// region. 0 (the default) emits none: the stream start is the only
+	// recovery point and framing overhead stays minimal.
+	CheckpointInterval int
 	// Workers bounds the goroutines used across all three parallelism
 	// levels — axes, particle shards and ADP trial compressions — on a
 	// single shared pool (0 = GOMAXPROCS, 1 = fully serial). Output bytes
@@ -313,23 +321,26 @@ func NewDecompressorWorkers(workers int) *Decompressor {
 // DecompressBatch reconstructs the frames of one block, verifying its
 // integrity checksum first.
 func (d *Decompressor) DecompressBatch(blk []byte) ([]Frame, error) {
-	if len(blk) < 8 || string(blk[:4]) != "MDZS" {
-		return nil, errors.New("mdz: not an MDZ block")
+	if len(blk) < 4 || string(blk[:4]) != "MDZS" {
+		return nil, fmt.Errorf("%w: not an MDZ block", ErrCorruptBlock)
+	}
+	if len(blk) < 8 {
+		return nil, fmt.Errorf("%w: block cut before its checksum footer", ErrTruncated)
 	}
 	body := blk[4 : len(blk)-4]
 	want, err := bitstream.NewByteReader(blk[len(blk)-4:]).ReadUint32()
 	if err != nil {
-		return nil, errors.New("mdz: truncated block footer")
+		return nil, fmt.Errorf("%w: truncated block footer", ErrTruncated)
 	}
 	if crc32.Checksum(body, crcTable) != want {
-		return nil, errors.New("mdz: block checksum mismatch (corrupted data)")
+		return nil, fmt.Errorf("%w: block checksum mismatch (corrupted data)", ErrCorruptBlock)
 	}
 	br := bitstream.NewByteReader(body)
 	var secs [3][]byte
 	for axis := 0; axis < 3; axis++ {
 		sec, err := br.ReadSection()
 		if err != nil {
-			return nil, err
+			return nil, mapBlockErr(err)
 		}
 		secs[axis] = sec
 	}
@@ -342,17 +353,36 @@ func (d *Decompressor) DecompressBatch(blk []byte) ([]Frame, error) {
 		return derr
 	})
 	if err != nil {
-		return nil, err
+		return nil, mapBlockErr(err)
 	}
 	bs := len(series[0])
 	if len(series[1]) != bs || len(series[2]) != bs {
-		return nil, errors.New("mdz: inconsistent axis batch sizes")
+		return nil, fmt.Errorf("%w: inconsistent axis batch sizes", ErrCorruptBlock)
 	}
 	frames := make([]Frame, bs)
 	for t := 0; t < bs; t++ {
 		frames[t] = Frame{X: series[0][t], Y: series[1][t], Z: series[2][t]}
 	}
 	return frames, nil
+}
+
+// blockSnapshots reports the snapshot count of a compressed block by
+// parsing headers only — no payload is decompressed. A salvaging Reader
+// uses it to account for intact blocks it must skip.
+func blockSnapshots(blk []byte) (int, error) {
+	if len(blk) < 8 || string(blk[:4]) != "MDZS" {
+		return 0, fmt.Errorf("%w: not an MDZ block", ErrCorruptBlock)
+	}
+	br := bitstream.NewByteReader(blk[4 : len(blk)-4])
+	sec, err := br.ReadSection()
+	if err != nil {
+		return 0, mapBlockErr(err)
+	}
+	_, bs, _, err := core.BlockInfo(sec)
+	if err != nil {
+		return 0, mapBlockErr(err)
+	}
+	return bs, nil
 }
 
 // Batch splits frames into buffers of at most bs frames (bs <= 0 selects
@@ -395,22 +425,22 @@ func Compress(frames []Frame, cfg Config) ([]byte, error) {
 // Decompress inverts Compress.
 func Decompress(stream []byte) ([]Frame, error) {
 	if len(stream) < 4 || string(stream[:4]) != "MDZF" {
-		return nil, errors.New("mdz: not an MDZ stream")
+		return nil, fmt.Errorf("%w: not an MDZ stream", ErrCorruptBlock)
 	}
 	br := bitstream.NewByteReader(stream[4:])
 	nb, err := br.ReadUvarint()
 	if err != nil {
-		return nil, err
+		return nil, mapBlockErr(err)
 	}
 	if nb > 1<<30 {
-		return nil, errors.New("mdz: corrupt stream")
+		return nil, fmt.Errorf("%w: implausible block count", ErrCorruptBlock)
 	}
 	d := NewDecompressor()
 	var frames []Frame
 	for i := uint64(0); i < nb; i++ {
 		blk, err := br.ReadSection()
 		if err != nil {
-			return nil, err
+			return nil, mapBlockErr(err)
 		}
 		batch, err := d.DecompressBatch(blk)
 		if err != nil {

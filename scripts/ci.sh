@@ -12,3 +12,9 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./...
+
+# Short fuzz smoke over the stream container and checkpoint parsers: ten
+# seconds each is enough to catch regressions in the framing/resync logic
+# without slowing the gate meaningfully.
+go test -run '^$' -fuzz '^FuzzStreamReader$' -fuzztime 10s .
+go test -run '^$' -fuzz '^FuzzCheckpointUnmarshal$' -fuzztime 10s .

@@ -2,34 +2,85 @@ package mdz
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+)
+
+// Stream container
+//
+// Writer produces the v2 recoverable container:
+//
+//	"MDZ2" frame… trailer-frame
+//	frame := sync(4) type(1) seq(4 LE) len(4 LE) hcrc(4 LE) payload pcrc(4 LE)
+//
+// Every frame is independently locatable (sync marker) and verifiable
+// (hcrc covers type/seq/len so a corrupted length can never cause an
+// over-read; pcrc covers the payload, independent of the core block's own
+// CRC footer). Frame types: data (one compressed batch), checkpoint
+// (serialized CheckpointState, emitted every Config.CheckpointInterval
+// data blocks) and trailer (total snapshot/block counts, distinguishing
+// clean EOF from truncation).
+//
+// Reader also accepts the legacy v1 container ("MDZW" + length-prefixed
+// blocks) written before the framed format existed. In Resync mode a
+// corrupt frame does not kill the stream: the reader scans forward for the
+// next sync marker, drops frames until decoder state is re-established
+// (immediately if the clean prefix seeded it, else at the next
+// checkpoint), and accounts for everything lost in SalvageStats.
+
+const (
+	streamMagic   = "MDZW" // v1: length-prefixed blocks, no recovery metadata
+	streamMagicV2 = "MDZ2" // v2: sync-framed blocks, checkpoints, trailer
+)
+
+// Frame types of the v2 container.
+const (
+	frameData       = 0
+	frameCheckpoint = 1
+	frameTrailer    = 2
+)
+
+// frameSync is the v2 frame marker. The non-ASCII guard bytes keep it from
+// colliding with text and with the other MDZ magics.
+var frameSync = [4]byte{0xD6, 'M', 'Z', 0xB1}
+
+const (
+	frameHeaderSize = 17      // sync(4) + type(1) + seq(4) + len(4) + hcrc(4)
+	frameCRCSize    = 4       // payload CRC32C
+	maxFramePayload = 1 << 31 // sanity cap on the claimed payload length
 )
 
 // Writer compresses frames onto an io.Writer as a framed MDZ stream,
 // buffering BufferSize snapshots per block — the natural interface for
 // in-situ dumping from a running simulation. Config.Workers and
-// Config.Shards govern the parallel pipeline exactly as in CompressBatch.
+// Config.Shards govern the parallel pipeline exactly as in CompressBatch;
+// Config.CheckpointInterval controls how often recovery checkpoints are
+// embedded (see Reader's Resync mode).
 //
 //	w := mdz.NewWriter(file, mdz.Config{ErrorBound: 1e-3})
 //	for step := ...; ; {
 //	    if dumpNow { w.WriteFrame(frame) }
 //	}
-//	w.Close() // flushes the final partial batch
+//	w.Close() // flushes the final partial batch and writes the trailer
 type Writer struct {
-	c       *Compressor
-	w       *bufio.Writer
-	pending []Frame
-	bs      int
-	err     error
-	closed  bool
+	c        *Compressor
+	w        *bufio.Writer
+	pending  []Frame
+	bs       int
+	interval int
+	err      error
+	closed   bool
+	opened   bool
+	seq      uint32 // next frame sequence number
+	blocks   int64  // data blocks written
+	frames   int64  // snapshots flushed into blocks
 	// raw/compressed byte counters for reporting
 	rawBytes, compBytes int64
 }
-
-const streamMagic = "MDZW"
 
 // NewWriter returns a Writer with the given configuration. The stream
 // header is written lazily with the first frame.
@@ -38,11 +89,17 @@ func NewWriter(w io.Writer, cfg Config) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.CheckpointInterval < 0 {
+		return nil, fmt.Errorf("mdz: CheckpointInterval must be non-negative, got %d", cfg.CheckpointInterval)
+	}
 	bs := cfg.BufferSize
 	if bs <= 0 {
 		bs = DefaultBufferSize
 	}
-	return &Writer{c: c, w: bufio.NewWriterSize(w, 1<<20), bs: bs}, nil
+	return &Writer{
+		c: c, w: bufio.NewWriterSize(w, 1<<20), bs: bs,
+		interval: cfg.CheckpointInterval,
+	}, nil
 }
 
 // WriteFrame buffers one snapshot, flushing a compressed block every
@@ -54,10 +111,12 @@ func (w *Writer) WriteFrame(f Frame) error {
 	if w.closed {
 		return errors.New("mdz: write after Close")
 	}
-	if len(w.pending) == 0 && w.rawBytes == 0 && w.compBytes == 0 {
-		if _, err := w.w.WriteString(streamMagic); err != nil {
+	if !w.opened {
+		if _, err := w.w.WriteString(streamMagicV2); err != nil {
 			return w.fail(err)
 		}
+		w.compBytes += int64(len(streamMagicV2))
+		w.opened = true
 	}
 	w.pending = append(w.pending, f)
 	if len(w.pending) >= w.bs {
@@ -74,18 +133,58 @@ func (w *Writer) flush() error {
 	if err != nil {
 		return w.fail(err)
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(blk)))
+	if err := w.writeFrame(frameData, blk); err != nil {
+		return err
+	}
+	w.rawBytes += int64(len(w.pending) * w.pending[0].N() * 3 * 8)
+	w.blocks++
+	w.frames += int64(len(w.pending))
+	w.pending = w.pending[:0]
+	if w.interval > 0 && w.blocks%int64(w.interval) == 0 {
+		return w.writeCheckpoint()
+	}
+	return nil
+}
+
+// writeFrame emits one framed record and accounts for its full wire size.
+func (w *Writer) writeFrame(typ byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return w.fail(fmt.Errorf("mdz: frame payload of %d bytes exceeds format limit", len(payload)))
+	}
+	var hdr [frameHeaderSize]byte
+	copy(hdr[:4], frameSync[:])
+	hdr[4] = typ
+	binary.LittleEndian.PutUint32(hdr[5:9], w.seq)
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[13:17], crc32.Checksum(hdr[4:13], crcTable))
 	if _, err := w.w.Write(hdr[:]); err != nil {
 		return w.fail(err)
 	}
-	if _, err := w.w.Write(blk); err != nil {
+	if _, err := w.w.Write(payload); err != nil {
 		return w.fail(err)
 	}
-	w.rawBytes += int64(len(w.pending) * w.pending[0].N() * 3 * 8)
-	w.compBytes += int64(len(blk)) + 4
-	w.pending = w.pending[:0]
+	var pcrc [frameCRCSize]byte
+	binary.LittleEndian.PutUint32(pcrc[:], crc32.Checksum(payload, crcTable))
+	if _, err := w.w.Write(pcrc[:]); err != nil {
+		return w.fail(err)
+	}
+	w.seq++
+	w.compBytes += int64(frameHeaderSize + len(payload) + frameCRCSize)
 	return nil
+}
+
+// writeCheckpoint embeds the compressor's current cross-batch state so a
+// resyncing reader can restart decoding after this point.
+func (w *Writer) writeCheckpoint() error {
+	st, err := w.c.ExportState()
+	if err != nil {
+		return w.fail(err)
+	}
+	payload, err := st.MarshalBinary()
+	if err != nil {
+		return w.fail(err)
+	}
+	return w.writeFrame(frameCheckpoint, payload)
 }
 
 func (w *Writer) fail(err error) error {
@@ -93,46 +192,218 @@ func (w *Writer) fail(err error) error {
 	return err
 }
 
-// Close flushes the final partial batch and the underlying buffer. It does
-// not close the wrapped io.Writer.
+// Close flushes the final partial batch, writes the stream trailer and
+// flushes the underlying buffer. If a prior frame already failed, Close
+// still flushes whatever was buffered (best-effort, so partial data is not
+// silently stranded) and returns the original error. It does not close
+// the wrapped io.Writer.
 func (w *Writer) Close() error {
-	if w.err != nil {
+	if w.closed {
 		return w.err
 	}
-	if w.closed {
-		return nil
-	}
 	w.closed = true
+	if w.err != nil {
+		w.w.Flush() // best-effort: don't strand buffered bytes
+		return w.err
+	}
 	if err := w.flush(); err != nil {
+		w.w.Flush()
 		return err
+	}
+	if w.opened {
+		trailer := bitstreamAppendTrailer(nil, w.frames, w.blocks)
+		if err := w.writeFrame(frameTrailer, trailer); err != nil {
+			w.w.Flush()
+			return err
+		}
 	}
 	return w.w.Flush()
 }
 
-// Stats reports raw and compressed byte totals of flushed blocks.
+// bitstreamAppendTrailer encodes the trailer payload: total snapshots and
+// total data blocks, as uvarints.
+func bitstreamAppendTrailer(dst []byte, frames, blocks int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(frames))
+	return binary.AppendUvarint(dst, uint64(blocks))
+}
+
+// Stats reports raw and compressed byte totals, including the stream
+// magic, frame headers, checkpoints and trailer actually written.
 func (w *Writer) Stats() (raw, compressed int64) { return w.rawBytes, w.compBytes }
 
-// Reader decompresses a framed MDZ stream produced by Writer, yielding
-// frames one at a time.
+// ReaderOptions configures NewReaderWith.
+type ReaderOptions struct {
+	// Workers bounds decompression parallelism (0 = GOMAXPROCS,
+	// 1 = serial); decoded frames are identical for any worker count.
+	Workers int
+	// Resync makes corruption survivable: instead of failing on the first
+	// corrupt frame, the Reader scans forward for the next sync marker,
+	// re-establishes decoder state (from the clean prefix or the next
+	// checkpoint) and keeps going. Losses are reported via SalvageStats.
+	Resync bool
+}
+
+// LostRange is a half-open range [From, To) of frame sequence numbers that
+// a resyncing Reader could not deliver.
+type LostRange struct {
+	From, To uint32
+}
+
+// SalvageStats accounts for what a Resync Reader lost and recovered.
+type SalvageStats struct {
+	// CorruptFrames counts frames rejected by framing, CRC or decode
+	// validation.
+	CorruptFrames int
+	// Resyncs counts forward scans for a sync marker after corruption.
+	Resyncs int
+	// SkippedBytes counts bytes discarded while hunting for sync markers.
+	SkippedBytes int64
+	// SkippedBlocks counts intact data blocks dropped because decoder
+	// state was not yet re-established (no checkpoint seen since the
+	// corruption).
+	SkippedBlocks int
+	// DroppedFrames counts snapshots known to be lost. Exact when the
+	// trailer survives; otherwise derived from the headers of skipped
+	// blocks (corrupt blocks of unknown size are not included).
+	DroppedFrames int
+	// LostRanges lists the frame sequence ranges not delivered, in order.
+	LostRanges []LostRange
+	// Truncated reports that the stream ended without a trailer (torn
+	// write or partial file).
+	Truncated bool
+	// FirstError is the first corruption encountered, with its frame
+	// index and byte offset, or nil for a clean stream.
+	FirstError *CorruptBlockError
+}
+
+// Reader decompresses a framed MDZ stream produced by Writer (v2) or by
+// pre-checkpoint writers (v1), yielding frames one at a time.
 type Reader struct {
-	d      *Decompressor
-	r      *bufio.Reader
+	d   *Decompressor
+	src io.Reader
+
+	buf    []byte // window of not-yet-parsed input
+	pos    int    // cursor into buf
+	off    int64  // absolute stream offset of buf[pos]
+	srcErr error  // sticky source error (io.EOF for clean exhaustion)
+
 	queue  []Frame
 	err    error
 	opened bool
+	v2     bool
+	resync bool
+
+	nextSeq   uint32 // expected sequence of the next frame
+	await     bool   // resync: drop data frames until the next checkpoint
+	scanning  bool   // inside a corrupt region (suppresses double-counting)
+	trailer   bool   // trailer frame seen
+	delivered int64  // snapshots queued for the caller
+	blocks    int64  // data blocks decoded
+	stats     SalvageStats
 }
 
 // NewReader returns a Reader over r with the default worker pool
 // (GOMAXPROCS).
 func NewReader(r io.Reader) *Reader {
-	return NewReaderWorkers(r, 0)
+	return NewReaderWith(r, ReaderOptions{})
 }
 
 // NewReaderWorkers returns a Reader whose decompression parallelism is
 // bounded by workers (0 = GOMAXPROCS, 1 = serial); decoded frames are
 // identical for any worker count.
 func NewReaderWorkers(r io.Reader, workers int) *Reader {
-	return &Reader{d: NewDecompressorWorkers(workers), r: bufio.NewReaderSize(r, 1<<20)}
+	return NewReaderWith(r, ReaderOptions{Workers: workers})
+}
+
+// NewReaderWith returns a Reader configured by opts.
+func NewReaderWith(r io.Reader, opts ReaderOptions) *Reader {
+	return &Reader{
+		d:      NewDecompressorWorkers(opts.Workers),
+		src:    r,
+		resync: opts.Resync,
+	}
+}
+
+// SalvageStats reports what a Resync reader skipped, dropped and
+// recovered so far. The result is a snapshot; LostRanges is a copy.
+func (r *Reader) SalvageStats() SalvageStats {
+	st := r.stats
+	st.LostRanges = append([]LostRange(nil), r.stats.LostRanges...)
+	return st
+}
+
+// buffered reports the unparsed bytes currently windowed.
+func (r *Reader) buffered() int { return len(r.buf) - r.pos }
+
+// view returns the next n buffered bytes without consuming them. Only
+// valid until the next fillTo call (the window may compact).
+func (r *Reader) view(n int) []byte { return r.buf[r.pos : r.pos+n] }
+
+// discard consumes n buffered bytes.
+func (r *Reader) discard(n int) {
+	r.pos += n
+	r.off += int64(n)
+}
+
+const fillChunk = 64 << 10
+
+// fillTo grows the window until at least n unconsumed bytes are available,
+// reporting whether it succeeded. It never pre-allocates a claimed length:
+// capacity only tracks bytes actually read, so a forged frame length
+// cannot trigger a huge allocation.
+func (r *Reader) fillTo(n int) bool {
+	for r.buffered() < n {
+		if r.srcErr != nil {
+			return false
+		}
+		if r.pos > 0 {
+			rem := r.buffered()
+			copy(r.buf, r.buf[r.pos:])
+			r.buf = r.buf[:rem]
+			r.pos = 0
+		}
+		if len(r.buf) == cap(r.buf) {
+			ncap := 2 * cap(r.buf)
+			if ncap < fillChunk {
+				ncap = fillChunk
+			}
+			nb := make([]byte, len(r.buf), ncap)
+			copy(nb, r.buf)
+			r.buf = nb
+		}
+		m, err := r.src.Read(r.buf[len(r.buf):cap(r.buf)])
+		r.buf = r.buf[:len(r.buf)+m]
+		if err != nil {
+			r.srcErr = err
+		}
+	}
+	return true
+}
+
+// open reads and validates the stream magic, selecting the v1 or v2 frame
+// parser.
+func (r *Reader) open() error {
+	if !r.fillTo(4) {
+		if r.srcErr != nil && r.srcErr != io.EOF {
+			return r.srcErr
+		}
+		if r.buffered() == 0 {
+			return io.EOF
+		}
+		return fmt.Errorf("mdz: stream cut inside the magic: %w", ErrTruncated)
+	}
+	magic := string(r.view(4))
+	switch magic {
+	case streamMagic:
+		r.v2 = false
+	case streamMagicV2:
+		r.v2 = true
+	default:
+		return fmt.Errorf("%w: not an MDZ stream (magic %q)", ErrCorruptBlock, magic)
+	}
+	r.discard(4)
+	r.opened = true
+	return nil
 }
 
 // ReadFrame returns the next frame, or io.EOF at end of stream.
@@ -141,39 +412,20 @@ func (r *Reader) ReadFrame() (Frame, error) {
 		return Frame{}, r.err
 	}
 	if !r.opened {
-		magic := make([]byte, 4)
-		if _, err := io.ReadFull(r.r, magic); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return Frame{}, r.fail(io.EOF)
-			}
+		if err := r.open(); err != nil {
 			return Frame{}, r.fail(err)
 		}
-		if string(magic) != streamMagic {
-			return Frame{}, r.fail(fmt.Errorf("mdz: not an MDZ stream (magic %q)", magic))
-		}
-		r.opened = true
 	}
 	for len(r.queue) == 0 {
-		var hdr [4]byte
-		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-			if errors.Is(err, io.EOF) {
-				return Frame{}, r.fail(io.EOF)
-			}
-			return Frame{}, r.fail(fmt.Errorf("mdz: truncated stream: %w", err))
+		var err error
+		if r.v2 {
+			err = r.nextBatchV2()
+		} else {
+			err = r.nextBatchV1()
 		}
-		n := binary.LittleEndian.Uint32(hdr[:])
-		if n == 0 || n > 1<<31 {
-			return Frame{}, r.fail(errors.New("mdz: corrupt stream framing"))
-		}
-		blk := make([]byte, n)
-		if _, err := io.ReadFull(r.r, blk); err != nil {
-			return Frame{}, r.fail(fmt.Errorf("mdz: truncated block: %w", err))
-		}
-		batch, err := r.d.DecompressBatch(blk)
 		if err != nil {
 			return Frame{}, r.fail(err)
 		}
-		r.queue = batch
 	}
 	f := r.queue[0]
 	r.queue = r.queue[1:]
@@ -198,4 +450,372 @@ func (r *Reader) ReadAll() ([]Frame, error) {
 func (r *Reader) fail(err error) error {
 	r.err = err
 	return err
+}
+
+// nextBatchV1 reads one legacy length-prefixed block into the queue. The
+// v1 container has no sync markers, so in Resync mode corruption ends the
+// stream after accounting for it.
+func (r *Reader) nextBatchV1() error {
+	if !r.fillTo(4) {
+		if r.srcErr != nil && r.srcErr != io.EOF {
+			return r.srcErr
+		}
+		if r.buffered() == 0 {
+			return io.EOF
+		}
+		return r.v1Corrupt(fmt.Errorf("mdz: stream cut inside a block header: %w", ErrTruncated))
+	}
+	n := binary.LittleEndian.Uint32(r.view(4))
+	if n == 0 || n > maxFramePayload {
+		return r.v1Corrupt(&CorruptBlockError{
+			Block: uint32(r.blocks), Offset: r.off,
+			Cause: fmt.Errorf("%w: implausible block length %d", ErrCorruptBlock, n),
+		})
+	}
+	if !r.fillTo(4 + int(n)) {
+		if r.srcErr != nil && r.srcErr != io.EOF {
+			return r.srcErr
+		}
+		return r.v1Corrupt(fmt.Errorf("mdz: stream cut inside block %d: %w", r.blocks, ErrTruncated))
+	}
+	blockOff := r.off
+	r.discard(4)
+	blk := r.view(int(n))
+	batch, err := r.d.DecompressBatch(blk)
+	r.discard(int(n))
+	if err != nil {
+		return r.v1Corrupt(&CorruptBlockError{Block: uint32(r.blocks), Offset: blockOff, Cause: err})
+	}
+	r.blocks++
+	r.delivered += int64(len(batch))
+	r.queue = batch
+	return nil
+}
+
+// v1Corrupt surfaces a legacy-container failure: typed in strict mode,
+// recorded-then-EOF in Resync mode (no sync markers to scan for).
+func (r *Reader) v1Corrupt(err error) error {
+	if !r.resync {
+		return err
+	}
+	var cbe *CorruptBlockError
+	if !errors.As(err, &cbe) {
+		cbe = &CorruptBlockError{Block: uint32(r.blocks), Offset: r.off, Cause: err}
+	}
+	r.recordCorrupt(cbe)
+	if errors.Is(err, ErrTruncated) {
+		r.stats.Truncated = true
+	}
+	r.stats.SkippedBytes += int64(r.buffered())
+	r.discard(r.buffered())
+	return io.EOF
+}
+
+// frameParse is one verified v2 frame.
+type frameParse struct {
+	typ     byte
+	seq     uint32
+	payload []byte // aliases the window; use before the next fillTo
+	size    int    // total wire size
+}
+
+// Internal parse outcomes distinguishing "bad bytes here" (scannable) from
+// "source exhausted mid-frame" (truncation).
+var (
+	errNotFrame       = errors.New("mdz: no valid frame at this offset")
+	errFrameTruncated = errors.New("mdz: frame cut short")
+)
+
+// parseFrame attempts to parse one complete frame at the cursor without
+// consuming it. The header CRC is checked before the payload is fetched,
+// so a corrupted length field can never cause an over-read.
+func (r *Reader) parseFrame() (frameParse, error) {
+	var fp frameParse
+	if !r.fillTo(frameHeaderSize) {
+		if r.srcErr != nil && r.srcErr != io.EOF {
+			return fp, r.srcErr
+		}
+		if r.buffered() == 0 {
+			return fp, io.EOF
+		}
+		return fp, errFrameTruncated
+	}
+	hdr := r.view(frameHeaderSize)
+	if !bytes.Equal(hdr[:4], frameSync[:]) {
+		return fp, errNotFrame
+	}
+	if crc32.Checksum(hdr[4:13], crcTable) != binary.LittleEndian.Uint32(hdr[13:17]) {
+		return fp, errNotFrame
+	}
+	if hdr[4] > frameTrailer {
+		return fp, errNotFrame
+	}
+	n := binary.LittleEndian.Uint32(hdr[9:13])
+	if n > maxFramePayload {
+		return fp, errNotFrame
+	}
+	total := frameHeaderSize + int(n) + frameCRCSize
+	if !r.fillTo(total) {
+		if r.srcErr != nil && r.srcErr != io.EOF {
+			return fp, r.srcErr
+		}
+		return fp, errFrameTruncated
+	}
+	frame := r.view(total) // re-view: fillTo may have compacted the window
+	payload := frame[frameHeaderSize : frameHeaderSize+int(n)]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(frame[total-frameCRCSize:]) {
+		return fp, errNotFrame
+	}
+	fp = frameParse{
+		typ:     frame[4],
+		seq:     binary.LittleEndian.Uint32(frame[5:9]),
+		payload: payload,
+		size:    total,
+	}
+	return fp, nil
+}
+
+// nextFrameV2 returns the next acceptable frame, handling corruption per
+// the reader mode: strict mode fails with a typed error; Resync mode
+// records the damage, scans forward to the next verifiable frame and
+// accounts for the sequence gap.
+func (r *Reader) nextFrameV2() (frameParse, int64, error) {
+	for {
+		frameOff := r.off
+		fp, perr := r.parseFrame()
+		switch {
+		case perr == nil:
+			if fp.seq < r.nextSeq {
+				// A stale or replayed frame; impossible from a healthy
+				// writer.
+				if !r.resync {
+					return fp, frameOff, &CorruptBlockError{
+						Block: r.nextSeq, Offset: frameOff,
+						Cause: fmt.Errorf("%w: frame sequence %d replayed (want %d)", ErrCorruptBlock, fp.seq, r.nextSeq),
+					}
+				}
+				r.discard(fp.size)
+				continue
+			}
+			if fp.seq > r.nextSeq {
+				if !r.resync {
+					return fp, frameOff, &CorruptBlockError{
+						Block: r.nextSeq, Offset: frameOff,
+						Cause: fmt.Errorf("%w: frame sequence jumped to %d (want %d)", ErrCorruptBlock, fp.seq, r.nextSeq),
+					}
+				}
+				r.extendLost(r.nextSeq, fp.seq)
+				if !r.d.seeded() {
+					r.await = true
+				}
+			}
+			r.discard(fp.size)
+			r.nextSeq = fp.seq + 1
+			r.scanning = false
+			return fp, frameOff, nil
+
+		case perr == io.EOF:
+			// Clean frame boundary but no trailer was seen: truncation.
+			err := fmt.Errorf("mdz: stream ended without a trailer: %w", ErrTruncated)
+			if !r.resync {
+				return fp, frameOff, err
+			}
+			r.stats.Truncated = true
+			r.noteTruncation(frameOff, err)
+			return fp, frameOff, io.EOF
+
+		case perr == errFrameTruncated:
+			err := fmt.Errorf("mdz: stream cut inside frame %d: %w", r.nextSeq, ErrTruncated)
+			if !r.resync {
+				return fp, frameOff, err
+			}
+			r.stats.Truncated = true
+			r.noteTruncation(frameOff, err)
+			r.stats.SkippedBytes += int64(r.buffered())
+			r.discard(r.buffered())
+			return fp, frameOff, io.EOF
+
+		case perr == errNotFrame:
+			cbe := &CorruptBlockError{
+				Block: r.nextSeq, Offset: frameOff,
+				Cause: fmt.Errorf("%w: frame sync/CRC validation failed", ErrCorruptBlock),
+			}
+			if !r.resync {
+				return fp, frameOff, cbe
+			}
+			if !r.scanning {
+				r.recordCorrupt(cbe)
+				r.stats.Resyncs++
+				r.scanning = true
+				if !r.d.seeded() {
+					r.await = true
+				}
+			}
+			r.scanSync()
+
+		default:
+			return fp, frameOff, perr // hard I/O error from the source
+		}
+	}
+}
+
+// scanSync advances at least one byte, then to the next sync-marker
+// candidate (or the end of input), counting everything it skips.
+func (r *Reader) scanSync() {
+	if r.buffered() > 0 {
+		r.stats.SkippedBytes++
+		r.discard(1)
+	}
+	for {
+		if i := bytes.Index(r.buf[r.pos:], frameSync[:]); i >= 0 {
+			r.stats.SkippedBytes += int64(i)
+			r.discard(i)
+			return
+		}
+		// No marker in the window: keep a possible 3-byte sync prefix at
+		// the tail and pull more input.
+		keep := len(frameSync) - 1
+		if r.buffered() < keep {
+			keep = r.buffered()
+		}
+		drop := r.buffered() - keep
+		r.stats.SkippedBytes += int64(drop)
+		r.discard(drop)
+		if !r.fillTo(keep + 1) {
+			r.stats.SkippedBytes += int64(r.buffered())
+			r.discard(r.buffered())
+			return
+		}
+	}
+}
+
+// nextBatchV2 consumes frames until a data block fills the queue, the
+// trailer ends the stream, or an error surfaces.
+func (r *Reader) nextBatchV2() error {
+	for {
+		fp, frameOff, err := r.nextFrameV2()
+		if err != nil {
+			return err
+		}
+		switch fp.typ {
+		case frameData:
+			if r.await {
+				// Intact but undecodable before a checkpoint reseeds the
+				// decoder: account for it precisely via its header.
+				r.stats.SkippedBlocks++
+				if bs, berr := blockSnapshots(fp.payload); berr == nil {
+					r.stats.DroppedFrames += bs
+				}
+				r.extendLost(fp.seq, fp.seq+1)
+				continue
+			}
+			batch, derr := r.d.DecompressBatch(fp.payload)
+			if derr != nil {
+				cbe := &CorruptBlockError{Block: fp.seq, Offset: frameOff, Cause: derr}
+				if !r.resync {
+					return cbe
+				}
+				r.recordCorrupt(cbe)
+				r.extendLost(fp.seq, fp.seq+1)
+				if !r.d.seeded() {
+					r.await = true
+				}
+				continue
+			}
+			r.blocks++
+			r.delivered += int64(len(batch))
+			r.queue = batch
+			return nil
+
+		case frameCheckpoint:
+			st := &CheckpointState{}
+			if derr := st.UnmarshalBinary(fp.payload); derr != nil {
+				cbe := &CorruptBlockError{Block: fp.seq, Offset: frameOff, Cause: derr}
+				if !r.resync {
+					return cbe
+				}
+				r.recordCorrupt(cbe)
+				r.extendLost(fp.seq, fp.seq+1)
+				continue
+			}
+			if r.d.seeded() && !r.d.stateMatches(st) {
+				derr := fmt.Errorf("%w: checkpoint %d disagrees with reconstructed state", ErrStateDesync, fp.seq)
+				if !r.resync {
+					return derr
+				}
+				// The checkpoint is CRC-verified writer state: trust it
+				// over whatever the decoder accumulated, but record the
+				// disagreement.
+				r.recordCorrupt(&CorruptBlockError{Block: fp.seq, Offset: frameOff, Cause: derr})
+			}
+			if aerr := r.d.ImportState(st); aerr != nil {
+				if !r.resync {
+					return aerr
+				}
+				r.recordCorrupt(&CorruptBlockError{Block: fp.seq, Offset: frameOff, Cause: aerr})
+				continue
+			}
+			r.await = false
+			continue
+
+		case frameTrailer:
+			br := bytes.NewReader(fp.payload)
+			snapTotal, err1 := binary.ReadUvarint(br)
+			blockTotal, err2 := binary.ReadUvarint(br)
+			if err1 != nil || err2 != nil || br.Len() != 0 {
+				cbe := &CorruptBlockError{
+					Block: fp.seq, Offset: frameOff,
+					Cause: fmt.Errorf("%w: malformed trailer", ErrCorruptBlock),
+				}
+				if !r.resync {
+					return cbe
+				}
+				r.recordCorrupt(cbe)
+				r.trailer = true
+				return io.EOF
+			}
+			r.trailer = true
+			if !r.resync {
+				if int64(snapTotal) != r.delivered || int64(blockTotal) != r.blocks {
+					return fmt.Errorf("%w: trailer claims %d snapshots in %d blocks, decoded %d in %d",
+						ErrCorruptBlock, snapTotal, blockTotal, r.delivered, r.blocks)
+				}
+				return io.EOF
+			}
+			// With the trailer's exact totals, replace the header-derived
+			// loss estimate.
+			if int64(snapTotal) >= r.delivered {
+				r.stats.DroppedFrames = int(int64(snapTotal) - r.delivered)
+			}
+			return io.EOF
+		}
+	}
+}
+
+// recordCorrupt accounts one corruption event.
+func (r *Reader) recordCorrupt(cbe *CorruptBlockError) {
+	r.stats.CorruptFrames++
+	if r.stats.FirstError == nil {
+		r.stats.FirstError = cbe
+	}
+}
+
+// noteTruncation records the truncation point as the first error if the
+// stream was otherwise clean.
+func (r *Reader) noteTruncation(off int64, err error) {
+	if r.stats.FirstError == nil {
+		r.stats.FirstError = &CorruptBlockError{Block: r.nextSeq, Offset: off, Cause: err}
+	}
+}
+
+// extendLost merges [from, to) into the lost-range list.
+func (r *Reader) extendLost(from, to uint32) {
+	if to <= from {
+		return
+	}
+	if n := len(r.stats.LostRanges); n > 0 && r.stats.LostRanges[n-1].To == from {
+		r.stats.LostRanges[n-1].To = to
+		return
+	}
+	r.stats.LostRanges = append(r.stats.LostRanges, LostRange{From: from, To: to})
 }
