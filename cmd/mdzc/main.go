@@ -26,33 +26,87 @@ import (
 
 const fileMagic = "MDZC"
 
+// cliFlags is the parsed command line, kept as a struct so flag-combination
+// validation is testable apart from flag.Parse and os.Exit.
+type cliFlags struct {
+	compress, decompress, info, fsck string
+	out, method                      string
+	eps                              float64
+	bs, checkpoint                   int
+	salvage                          bool
+
+	metricsAddr, cpuprofile, memprofile, statsJSON string
+}
+
+// validateFlags rejects meaningless flag combinations; any error is a usage
+// error (exit code 2).
+func validateFlags(f *cliFlags) error {
+	modes := 0
+	for _, m := range []string{f.compress, f.decompress, f.info, f.fsck} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes == 0 {
+		return fmt.Errorf("one of -c, -d, -info, -fsck required (see -h)")
+	}
+	if modes > 1 {
+		return fmt.Errorf("-c, -d, -info and -fsck are mutually exclusive")
+	}
+	if f.salvage && f.decompress == "" {
+		return fmt.Errorf("-salvage only applies to decompression; pair it with -d")
+	}
+	if f.checkpoint != 0 && f.compress == "" {
+		return fmt.Errorf("-checkpoint only applies to compression; pair it with -c")
+	}
+	if f.fsck != "" && f.out != "" {
+		return fmt.Errorf("-fsck verifies in place and writes no output; drop -o")
+	}
+	if f.info != "" && f.out != "" {
+		return fmt.Errorf("-info writes no output; drop -o")
+	}
+	return nil
+}
+
 func main() {
-	compress := flag.String("c", "", "compress: input .mdzd path")
-	decompress := flag.String("d", "", "decompress: input .mdz path")
-	info := flag.String("info", "", "print stream statistics for a .mdz path")
-	fsck := flag.String("fsck", "", "verify framing and checksums of a .mdz path, reporting salvageable ranges")
-	out := flag.String("o", "", "output path")
-	eps := flag.Float64("eps", 1e-3, "value-range-based error bound")
-	bs := flag.Int("bs", 10, "buffer size (snapshots per batch)")
-	method := flag.String("method", "ADP", "compression method: ADP, VQ, VQT, MT")
-	checkpoint := flag.Int("checkpoint", 0, "with -c: write a recoverable framed stream with a checkpoint every N blocks (0 = one-shot format)")
-	salvage := flag.Bool("salvage", false, "with -d: recover everything readable from a corrupt stream instead of failing")
+	var f cliFlags
+	flag.StringVar(&f.compress, "c", "", "compress: input .mdzd path")
+	flag.StringVar(&f.decompress, "d", "", "decompress: input .mdz path")
+	flag.StringVar(&f.info, "info", "", "print stream statistics for a .mdz path")
+	flag.StringVar(&f.fsck, "fsck", "", "verify framing and checksums of a .mdz path, reporting salvageable ranges")
+	flag.StringVar(&f.out, "o", "", "output path")
+	flag.Float64Var(&f.eps, "eps", 1e-3, "value-range-based error bound")
+	flag.IntVar(&f.bs, "bs", 10, "buffer size (snapshots per batch)")
+	flag.StringVar(&f.method, "method", "ADP", "compression method: ADP, VQ, VQT, MT")
+	flag.IntVar(&f.checkpoint, "checkpoint", 0, "with -c: write a recoverable framed stream with a checkpoint every N blocks (0 = one-shot format)")
+	flag.BoolVar(&f.salvage, "salvage", false, "with -d: recover everything readable from a corrupt stream instead of failing")
+	flag.StringVar(&f.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars and pprof /debug/pprof/ on this address while the command runs")
+	flag.StringVar(&f.cpuprofile, "cpuprofile", "", "write a CPU profile to this path")
+	flag.StringVar(&f.memprofile, "memprofile", "", "write a heap profile to this path on exit")
+	flag.StringVar(&f.statsJSON, "stats-json", "", "write a machine-readable run report (stage timings, ADP decisions, scope rates) to this path, or - for stdout")
 	flag.Parse()
 
-	var err error
-	switch {
-	case *compress != "":
-		err = doCompress(*compress, *out, *eps, *bs, *method, *checkpoint)
-	case *decompress != "":
-		err = doDecompress(*decompress, *out, *salvage)
-	case *info != "":
-		err = doInfo(*info)
-	case *fsck != "":
-		err = doFsck(*fsck)
-	default:
-		fmt.Fprintln(os.Stderr, "mdzc: one of -c, -d, -info, -fsck required (see -h)")
+	if err := validateFlags(&f); err != nil {
+		fmt.Fprintln(os.Stderr, "mdzc:", err)
 		os.Exit(2)
 	}
+	o := &obs{metricsAddr: f.metricsAddr, cpuprofile: f.cpuprofile, memprofile: f.memprofile, statsJSON: f.statsJSON}
+	if err := o.start(); err != nil {
+		fmt.Fprintln(os.Stderr, "mdzc:", err)
+		os.Exit(1)
+	}
+	var err error
+	switch {
+	case f.compress != "":
+		err = doCompress(&f, o)
+	case f.decompress != "":
+		err = doDecompress(&f, o)
+	case f.info != "":
+		err = doInfo(f.info, o)
+	case f.fsck != "":
+		err = doFsck(f.fsck, o)
+	}
+	o.finish()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdzc:", err)
 		os.Exit(1)
@@ -73,11 +127,12 @@ func parseMethod(s string) (mdz.Method, error) {
 	return mdz.ADP, fmt.Errorf("unknown method %q", s)
 }
 
-func doCompress(in, out string, eps float64, bs int, methodName string, checkpoint int) error {
+func doCompress(f *cliFlags, o *obs) error {
+	in, out := f.compress, f.out
 	if out == "" {
 		return fmt.Errorf("-o required")
 	}
-	m, err := parseMethod(methodName)
+	m, err := parseMethod(f.method)
 	if err != nil {
 		return err
 	}
@@ -89,15 +144,18 @@ func doCompress(in, out string, eps float64, bs int, methodName string, checkpoi
 	for i, f := range d.Frames {
 		frames[i] = mdz.Frame{X: f.X, Y: f.Y, Z: f.Z}
 	}
-	cfg := mdz.Config{ErrorBound: eps, Method: m, BufferSize: bs}
+	cfg := mdz.Config{ErrorBound: f.eps, Method: m, BufferSize: f.bs, Telemetry: o.enabled()}
 	var stream []byte
-	if checkpoint > 0 {
+	if f.checkpoint > 0 {
 		// Framed stream with embedded recovery checkpoints: survivable by
 		// -salvage and checkable by -fsck.
-		cfg.CheckpointInterval = checkpoint
+		cfg.CheckpointInterval = f.checkpoint
 		var sb bytes.Buffer
 		w, err := mdz.NewWriter(&sb, cfg)
 		if err != nil {
+			return err
+		}
+		if err := o.attach(w.TelemetryRegistry()); err != nil {
 			return err
 		}
 		for _, f := range frames {
@@ -110,7 +168,14 @@ func doCompress(in, out string, eps float64, bs int, methodName string, checkpoi
 		}
 		stream = sb.Bytes()
 	} else {
-		stream, err = mdz.Compress(frames, cfg)
+		c, err := mdz.NewCompressor(cfg)
+		if err != nil {
+			return err
+		}
+		if err := o.attach(c.TelemetryRegistry()); err != nil {
+			return err
+		}
+		stream, err = c.Compress(frames)
 		if err != nil {
 			return err
 		}
@@ -125,7 +190,13 @@ func doCompress(in, out string, eps float64, bs int, methodName string, checkpoi
 	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("compressed %s: %d -> %d bytes (CR %.2f)\n",
+	o.report = statsReport{
+		Command: "compress", Input: in, Output: out,
+		Snapshots: d.M(), Atoms: d.N(),
+		RawBytes: int64(d.SizeBytes()), CompressedBytes: int64(len(stream)),
+		Ratio: float64(d.SizeBytes()) / float64(len(stream)),
+	}
+	fmt.Fprintf(o.humanOut(), "compressed %s: %d -> %d bytes (CR %.2f)\n",
 		in, d.SizeBytes(), len(stream), float64(d.SizeBytes())/float64(len(stream)))
 	return nil
 }
@@ -177,11 +248,15 @@ func parseContainer(path string) (meta [3]string, stream []byte, err error) {
 // reader: one-shot "MDZF" via Decompress, framed "MDZW"/"MDZ2" streams via
 // the stream Reader. Salvage mode (framed streams only) recovers what it
 // can and returns the reader's accounting alongside the frames.
-func decodeStream(stream []byte, salvage bool) ([]mdz.Frame, *mdz.SalvageStats, error) {
+func decodeStream(stream []byte, salvage bool, o *obs) ([]mdz.Frame, *mdz.SalvageStats, error) {
 	if len(stream) >= 4 {
 		switch string(stream[:4]) {
 		case "MDZW", "MDZ2":
-			r := mdz.NewReaderWith(bytes.NewReader(stream), mdz.ReaderOptions{Resync: salvage})
+			r := mdz.NewReaderWith(bytes.NewReader(stream),
+				mdz.ReaderOptions{Resync: salvage, Telemetry: o.enabled()})
+			if err := o.attach(r.TelemetryRegistry()); err != nil {
+				return nil, nil, err
+			}
 			frames, err := r.ReadAll()
 			if err != nil {
 				return frames, nil, err
@@ -193,7 +268,11 @@ func decodeStream(stream []byte, salvage bool) ([]mdz.Frame, *mdz.SalvageStats, 
 	if salvage {
 		return nil, nil, fmt.Errorf("-salvage requires a framed stream (got a one-shot payload)")
 	}
-	frames, err := mdz.Decompress(stream)
+	d := mdz.NewDecompressorWith(mdz.DecompressorOptions{Telemetry: o.enabled()})
+	if err := o.attach(d.TelemetryRegistry()); err != nil {
+		return nil, nil, err
+	}
+	frames, err := d.Decompress(stream)
 	return frames, nil, err
 }
 
@@ -227,7 +306,8 @@ func parseContainerLenient(path string) (meta [3]string, stream []byte, err erro
 	return meta, rest[8:], nil
 }
 
-func doDecompress(in, out string, salvage bool) error {
+func doDecompress(f *cliFlags, o *obs) error {
+	in, out, salvage := f.decompress, f.out, f.salvage
 	if out == "" {
 		return fmt.Errorf("-o required")
 	}
@@ -242,7 +322,7 @@ func doDecompress(in, out string, salvage bool) error {
 	if err != nil {
 		return err
 	}
-	frames, stats, err := decodeStream(stream, salvage)
+	frames, stats, err := decodeStream(stream, salvage, o)
 	if err != nil {
 		return err
 	}
@@ -259,7 +339,12 @@ func doDecompress(in, out string, salvage bool) error {
 	if err := saveTrajectory(d, out); err != nil {
 		return err
 	}
-	fmt.Printf("decompressed %s: %d snapshots x %d atoms -> %s\n", in, d.M(), d.N(), out)
+	o.report = statsReport{
+		Command: "decompress", Input: in, Output: out,
+		Snapshots: d.M(), Atoms: d.N(),
+		RawBytes: int64(d.SizeBytes()), CompressedBytes: int64(len(stream)),
+	}
+	fmt.Fprintf(o.humanOut(), "decompressed %s: %d snapshots x %d atoms -> %s\n", in, d.M(), d.N(), out)
 	return nil
 }
 
@@ -267,7 +352,7 @@ func doDecompress(in, out string, salvage bool) error {
 // any output: clean streams report their totals and exit 0; damaged ones
 // report the first corrupt block's index and byte offset, plus what a
 // salvage pass would recover, and exit non-zero.
-func doFsck(in string) error {
+func doFsck(in string, o *obs) error {
 	_, stream, err := parseContainerLenient(in)
 	if err != nil {
 		return err
@@ -276,51 +361,57 @@ func doFsck(in string) error {
 		// One-shot payload: no framing to walk, so verify by decoding.
 		frames, err := mdz.Decompress(stream)
 		if err != nil {
-			fmt.Printf("%s: one-shot payload FAILED verification: %v\n", in, err)
+			fmt.Fprintf(o.humanOut(), "%s: one-shot payload FAILED verification: %v\n", in, err)
 			return fmt.Errorf("fsck: %s is corrupt", in)
 		}
-		fmt.Printf("%s: ok (one-shot payload, %d snapshots)\n", in, len(frames))
+		fmt.Fprintf(o.humanOut(), "%s: ok (one-shot payload, %d snapshots)\n", in, len(frames))
 		return nil
 	}
-	r := mdz.NewReaderWith(bytes.NewReader(stream), mdz.ReaderOptions{Resync: true})
+	r := mdz.NewReaderWith(bytes.NewReader(stream),
+		mdz.ReaderOptions{Resync: true, Telemetry: o.enabled()})
+	if err := o.attach(r.TelemetryRegistry()); err != nil {
+		return err
+	}
+	o.report = statsReport{Command: "fsck", Input: in}
 	frames, err := r.ReadAll()
 	if err != nil {
 		return err // hard I/O failure, not a verification verdict
 	}
 	stats := r.SalvageStats()
 	if stats.FirstError == nil && !stats.Truncated {
-		fmt.Printf("%s: ok (%d snapshots, %d corrupt frames)\n", in, len(frames), stats.CorruptFrames)
+		fmt.Fprintf(o.humanOut(), "%s: ok (%d snapshots, %d corrupt frames)\n", in, len(frames), stats.CorruptFrames)
 		return nil
 	}
 	if stats.FirstError != nil {
-		fmt.Printf("%s: first corrupt block %d at offset %d: %v\n",
+		fmt.Fprintf(o.humanOut(), "%s: first corrupt block %d at offset %d: %v\n",
 			in, stats.FirstError.Block, stats.FirstError.Offset, stats.FirstError.Cause)
 	}
-	fmt.Printf("%s: salvageable: %d snapshots (%d known dropped, %d blocks skipped, %d bytes unreadable, truncated=%v)\n",
+	fmt.Fprintf(o.humanOut(), "%s: salvageable: %d snapshots (%d known dropped, %d blocks skipped, %d bytes unreadable, truncated=%v)\n",
 		in, len(frames), stats.DroppedFrames, stats.SkippedBlocks, stats.SkippedBytes, stats.Truncated)
 	for _, lr := range stats.LostRanges {
-		fmt.Printf("%s: lost frames [%d, %d)\n", in, lr.From, lr.To)
+		fmt.Fprintf(o.humanOut(), "%s: lost frames [%d, %d)\n", in, lr.From, lr.To)
 	}
 	return fmt.Errorf("fsck: %s is corrupt", in)
 }
 
-func doInfo(in string) error {
+func doInfo(in string, o *obs) error {
 	meta, stream, err := parseContainer(in)
 	if err != nil {
 		return err
 	}
-	frames, _, err := decodeStream(stream, false)
+	frames, _, err := decodeStream(stream, false, o)
 	if err != nil {
 		return err
 	}
+	o.report = statsReport{Command: "info", Input: in, Snapshots: len(frames)}
 	n := 0
 	if len(frames) > 0 {
 		n = frames[0].N()
 	}
 	raw := len(frames) * n * 3 * 8
-	fmt.Printf("dataset: %s (%s, %s)\n", meta[0], meta[1], meta[2])
-	fmt.Printf("snapshots: %d  atoms: %d\n", len(frames), n)
-	fmt.Printf("compressed: %d bytes  raw: %d bytes  CR: %.2f\n",
+	fmt.Fprintf(o.humanOut(), "dataset: %s (%s, %s)\n", meta[0], meta[1], meta[2])
+	fmt.Fprintf(o.humanOut(), "snapshots: %d  atoms: %d\n", len(frames), n)
+	fmt.Fprintf(o.humanOut(), "compressed: %d bytes  raw: %d bytes  CR: %.2f\n",
 		len(stream), raw, float64(raw)/float64(len(stream)))
 	return nil
 }

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/mdz/mdz/internal/dataset"
+)
+
+// TestValidateFlags covers the flag-combination holes: each invalid pairing
+// must be rejected as a usage error (main maps these to exit code 2) rather
+// than silently ignored.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       cliFlags
+		wantErr bool
+	}{
+		{"compress ok", cliFlags{compress: "in", out: "out"}, false},
+		{"decompress ok", cliFlags{decompress: "in", out: "out"}, false},
+		{"salvage with -d", cliFlags{decompress: "in", out: "out", salvage: true}, false},
+		{"checkpoint with -c", cliFlags{compress: "in", out: "out", checkpoint: 4}, false},
+		{"fsck ok", cliFlags{fsck: "in"}, false},
+		{"info ok", cliFlags{info: "in"}, false},
+		{"no mode", cliFlags{}, true},
+		{"two modes", cliFlags{compress: "a", decompress: "b"}, true},
+		{"salvage without -d", cliFlags{compress: "in", out: "out", salvage: true}, true},
+		{"salvage alone with fsck", cliFlags{fsck: "in", salvage: true}, true},
+		{"checkpoint without -c", cliFlags{decompress: "in", out: "out", checkpoint: 8}, true},
+		{"fsck with -o", cliFlags{fsck: "in", out: "out"}, true},
+		{"info with -o", cliFlags{info: "in", out: "out"}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(&tc.f)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("validateFlags(%+v) error = %v, wantErr %v", tc.f, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// writeTestTrajectory saves a small synthetic trajectory and returns its path.
+func writeTestTrajectory(t *testing.T, dir string) string {
+	t.Helper()
+	d := &dataset.Dataset{Meta: dataset.Metadata{Name: "test", State: "solid", Code: "synthetic"}}
+	const m, n = 12, 64
+	for s := 0; s < m; s++ {
+		f := dataset.NewFrame(n)
+		for i := 0; i < n; i++ {
+			base := float64(i%8) + 0.05*math.Sin(float64(s)*0.3+float64(i))
+			f.X[i] = base
+			f.Y[i] = base * 0.5
+			f.Z[i] = -base
+		}
+		d.Frames = append(d.Frames, f)
+	}
+	path := filepath.Join(dir, "traj.mdzd")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestStatsJSONShape runs a real compression through the obs plumbing and
+// checks the -stats-json document's shape: valid JSON with stage timings,
+// ADP winner counts and the out-of-scope rate derived from the snapshot.
+func TestStatsJSONShape(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestTrajectory(t, dir)
+	statsPath := filepath.Join(dir, "stats.json")
+	f := &cliFlags{
+		compress: in, out: filepath.Join(dir, "traj.mdz"),
+		eps: 1e-3, bs: 4, method: "ADP", statsJSON: statsPath,
+	}
+	o := &obs{statsJSON: statsPath}
+	if err := doCompress(f, o); err != nil {
+		t.Fatal(err)
+	}
+	o.finish()
+
+	raw, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep statsReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("stats-json is not valid JSON: %v\n%s", err, raw)
+	}
+	if rep.Command != "compress" || rep.Input != in {
+		t.Errorf("report identity = %q/%q", rep.Command, rep.Input)
+	}
+	if rep.RawBytes <= 0 || rep.CompressedBytes <= 0 || rep.Ratio <= 0 {
+		t.Errorf("size accounting missing: raw=%d comp=%d ratio=%v",
+			rep.RawBytes, rep.CompressedBytes, rep.Ratio)
+	}
+	for _, stage := range []string{
+		"compress.stage.kmeans_fit",
+		"compress.stage.predict_quant",
+		"compress.stage.huffman",
+		"compress.stage.lossless",
+		"compress.stage.batch",
+	} {
+		if _, ok := rep.StageNS[stage]; !ok {
+			t.Errorf("stage_ns missing %q (have %v)", stage, rep.StageNS)
+		}
+	}
+	// ADP ran (batches 0 and 1 always evaluate), so each axis records wins.
+	total := int64(0)
+	for _, v := range rep.ADPWins {
+		total += v
+	}
+	if total == 0 {
+		t.Errorf("adp_wins empty: %v", rep.ADPWins)
+	}
+	if rep.OutOfScopeRate < 0 || rep.OutOfScopeRate > 1 || math.IsNaN(rep.OutOfScopeRate) {
+		t.Errorf("out_of_scope_rate = %v", rep.OutOfScopeRate)
+	}
+	if rep.Telemetry == nil || rep.Telemetry.Counters["compress.quant.values"] == 0 {
+		t.Error("raw telemetry snapshot missing or empty")
+	}
+}
+
+// TestMetricsEndpoint drives a compression with -metrics-addr on a loopback
+// port and scrapes all three surfaces: Prometheus text, expvar JSON, pprof.
+func TestMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestTrajectory(t, dir)
+	f := &cliFlags{
+		compress: in, out: filepath.Join(dir, "traj.mdz"),
+		eps: 1e-3, bs: 4, method: "ADP",
+	}
+	o := &obs{metricsAddr: "127.0.0.1:0"}
+	if err := doCompress(f, o); err != nil {
+		t.Fatal(err)
+	}
+	if o.srv == nil || o.addr == "" {
+		t.Fatal("metrics server did not start")
+	}
+	defer o.finish()
+	base := "http://" + o.addr
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	prom := get("/metrics")
+	for _, want := range []string{
+		"# TYPE mdz_compress_stage_huffman_ns histogram",
+		"mdz_compress_quant_values_total",
+		"mdz_pool_tasks_total",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+
+	vars := get("/debug/vars")
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &decoded); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	if _, ok := decoded["mdz"]; !ok {
+		t.Error("expvar output missing the mdz variable")
+	}
+
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("pprof index did not render")
+	}
+}

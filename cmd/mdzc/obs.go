@@ -1,0 +1,209 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	mdz "github.com/mdz/mdz"
+	"github.com/mdz/mdz/internal/telemetry"
+)
+
+// obs wires the optional observability surfaces around one mdzc command:
+// a metrics/expvar/pprof HTTP listener while the command runs, CPU/heap
+// profiles, and a machine-readable stats report written afterwards. The
+// zero value (no flags set) is fully inert.
+type obs struct {
+	metricsAddr string
+	cpuprofile  string
+	memprofile  string
+	statsJSON   string
+
+	reg     *mdz.TelemetryRegistry
+	srv     *http.Server
+	addr    string // bound listener address once serving
+	cpuFile *os.File
+	report  statsReport
+}
+
+// statsReport is the -stats-json document. Derived convenience fields
+// (stage totals, ADP winners, scope rate) are extracted from the raw
+// telemetry snapshot included alongside them.
+type statsReport struct {
+	Command         string  `json:"command"`
+	Input           string  `json:"input,omitempty"`
+	Output          string  `json:"output,omitempty"`
+	Snapshots       int     `json:"snapshots,omitempty"`
+	Atoms           int     `json:"atoms,omitempty"`
+	RawBytes        int64   `json:"raw_bytes,omitempty"`
+	CompressedBytes int64   `json:"compressed_bytes,omitempty"`
+	Ratio           float64 `json:"ratio,omitempty"`
+	// OutOfScopeRate is the fraction of quantized values that fell out of
+	// quantization scope (compress.quant.outliers / compress.quant.values).
+	OutOfScopeRate float64 `json:"out_of_scope_rate"`
+	// StageNS totals wall time per pipeline stage, from the stage
+	// histograms' sums (e.g. "compress.stage.huffman" -> ns).
+	StageNS map[string]int64 `json:"stage_ns"`
+	// ADPWins counts evaluation-round winners per axis and method
+	// (e.g. "x.vqt" -> 3).
+	ADPWins   map[string]int64       `json:"adp_wins"`
+	Telemetry *mdz.TelemetrySnapshot `json:"telemetry"`
+}
+
+// enabled reports whether any surface needs Config.Telemetry on.
+func (o *obs) enabled() bool {
+	return o != nil && (o.metricsAddr != "" || o.statsJSON != "")
+}
+
+// humanOut returns the stream for human-readable summaries: stderr when the
+// machine-readable report owns stdout (-stats-json -), stdout otherwise.
+func (o *obs) humanOut() io.Writer {
+	if o != nil && o.statsJSON == "-" {
+		return os.Stderr
+	}
+	return os.Stdout
+}
+
+// start begins the surfaces that do not need a registry yet (CPU profile).
+func (o *obs) start() error {
+	if o.cpuprofile == "" {
+		return nil
+	}
+	f, err := os.Create(o.cpuprofile)
+	if err != nil {
+		return err
+	}
+	if err := rpprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	o.cpuFile = f
+	return nil
+}
+
+// expvar publication is process-global and rejects duplicate names, so the
+// handle is registered once and follows the most recently attached registry.
+var (
+	expvarReg  atomic.Pointer[telemetry.Registry]
+	expvarInit atomic.Bool
+)
+
+func publishExpvar(reg *mdz.TelemetryRegistry) {
+	expvarReg.Store(reg)
+	if expvarInit.CompareAndSwap(false, true) {
+		expvar.Publish("mdz", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	}
+}
+
+// attach binds the command's telemetry registry and, if requested, starts
+// the metrics listener. Call it as soon as the registry exists so the
+// endpoint is live while the command works; only the first call binds.
+func (o *obs) attach(reg *mdz.TelemetryRegistry) error {
+	if o == nil || reg == nil || o.reg != nil {
+		return nil
+	}
+	o.reg = reg
+	publishExpvar(reg)
+	if o.metricsAddr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", o.metricsAddr)
+	if err != nil {
+		return err
+	}
+	o.addr = ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "mdzc: serving metrics on http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n",
+		o.addr)
+	o.srv = &http.Server{Handler: mux}
+	go o.srv.Serve(ln)
+	return nil
+}
+
+// finish stops the profiles and listener and writes the stats report.
+// Surface errors are reported but never mask the command's own outcome.
+func (o *obs) finish() {
+	if o == nil {
+		return
+	}
+	if o.cpuFile != nil {
+		rpprof.StopCPUProfile()
+		o.cpuFile.Close()
+	}
+	if o.memprofile != "" {
+		if f, err := os.Create(o.memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "mdzc: memprofile:", err)
+		} else {
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := rpprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mdzc: memprofile:", err)
+			}
+			f.Close()
+		}
+	}
+	if o.statsJSON != "" {
+		if err := o.writeStats(); err != nil {
+			fmt.Fprintln(os.Stderr, "mdzc: stats-json:", err)
+		}
+	}
+	if o.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		o.srv.Shutdown(ctx)
+		cancel()
+	}
+}
+
+// writeStats renders the -stats-json report ("-" writes to stdout).
+func (o *obs) writeStats() error {
+	rep := o.report
+	rep.StageNS = map[string]int64{}
+	rep.ADPWins = map[string]int64{}
+	rep.Telemetry = o.reg.Snapshot()
+	if rep.Telemetry != nil {
+		for name, h := range rep.Telemetry.Histograms {
+			if stage, ok := strings.CutSuffix(name, ".ns"); ok && strings.Contains(stage, ".stage.") {
+				rep.StageNS[stage] = h.Sum
+			}
+		}
+		for name, v := range rep.Telemetry.Counters {
+			if rest, ok := strings.CutPrefix(name, "compress.adp."); ok {
+				if axis, method, ok := strings.Cut(rest, ".win."); ok {
+					rep.ADPWins[axis+"."+method] = v
+				}
+			}
+		}
+		if vals := rep.Telemetry.Counters["compress.quant.values"]; vals > 0 {
+			rep.OutOfScopeRate = float64(rep.Telemetry.Counters["compress.quant.outliers"]) / float64(vals)
+		}
+	}
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if o.statsJSON == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(o.statsJSON, buf, 0o644)
+}

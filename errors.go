@@ -24,6 +24,15 @@ var (
 	ErrStateDesync  = errors.New("mdz: decoder state desync")
 )
 
+// ErrNonFinite is returned by CompressBatch (and everything built on it)
+// when the first batch of an axis contains ±Inf. Infinities would poison
+// the value-range bound derivation and the quantizer built from it, so
+// they are rejected before any encoder state is created — the wrapped
+// message names the axis, snapshot and particle index. NaN is not an
+// error: it is carried through the outlier path and reconstructed
+// bit-exactly.
+var ErrNonFinite = errors.New("mdz: non-finite input")
+
 // CorruptBlockError reports a corrupt frame in a framed stream: which
 // block, where in the byte stream, and why. It matches ErrCorruptBlock
 // under errors.Is and exposes the underlying cause via Unwrap.

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/mdz/mdz/internal/bitstream"
 	"github.com/mdz/mdz/internal/huffman"
@@ -162,6 +163,10 @@ type Params struct {
 	// parallelism. A nil pool runs serially; pool size never changes the
 	// output bytes.
 	Pool *pool.Pool
+	// Tel, when non-nil, attaches pipeline instrumentation (stage timings,
+	// ADP decisions, quantization scope rates). Nil disables it at
+	// near-zero cost; telemetry never changes the output bytes.
+	Tel *Telemetry
 }
 
 func (p *Params) fill() error {
@@ -222,6 +227,7 @@ type Encoder struct {
 	ref   []float64 // reconstructed snapshot 0 of the run (set after batch 0)
 	cur   Method    // concrete method in use (ADP resolves to one of the three)
 	batch int       // batches encoded so far
+	tel   Telemetry // by value: zero struct (all-nil fields) when disabled
 	// Stats accumulates encoder-side statistics for benchmarks.
 	Stats Stats
 }
@@ -249,7 +255,16 @@ func NewEncoder(p Params) (*Encoder, error) {
 	if cur == ADP {
 		cur = VQT // provisional; first batch evaluation overrides
 	}
-	return &Encoder{p: p, q: q, cur: cur}, nil
+	e := &Encoder{p: p, q: q, cur: cur}
+	if p.Tel != nil {
+		e.tel = *p.Tel
+		e.p.Backend = lossless.Timed{B: e.p.Backend, OnCompress: func(d time.Duration, in, out int) {
+			e.tel.BackendNS.Observe(d.Nanoseconds())
+			e.tel.BackendInBytes.Add(int64(in))
+			e.tel.BackendOutBytes.Add(int64(out))
+		}}
+	}
+	return e, nil
 }
 
 // Method reports the concrete method currently selected (useful under ADP).
@@ -283,6 +298,7 @@ func (e *Encoder) EncodeBatch(batch [][]float64) ([]byte, error) {
 			return nil, fmt.Errorf("core: snapshot %d has %d values, want %d", i, len(s), n)
 		}
 	}
+	sw := e.tel.BatchNS.Start()
 	if e.km == nil {
 		if err := e.initLevels(batch[0]); err != nil {
 			return nil, err
@@ -297,6 +313,8 @@ func (e *Encoder) EncodeBatch(batch [][]float64) ([]byte, error) {
 	var recon0 []float64
 	if adapt {
 		e.Stats.Evaluations++
+		e.tel.Evals.Inc()
+		prev := e.cur
 		// The three candidate trial compressions are independent; run them
 		// concurrently on the shared pool and pick the winner in fixed
 		// method order so the selection is deterministic.
@@ -318,6 +336,10 @@ func (e *Encoder) EncodeBatch(batch [][]float64) ([]byte, error) {
 				out, recon0, e.cur = blks[i], r0s[i], m
 			}
 		}
+		e.tel.Wins[e.cur].Inc()
+		if e.cur != prev {
+			e.tel.Transitions.Inc()
+		}
 	} else {
 		m := e.cur
 		if e.p.Method != ADP {
@@ -337,11 +359,15 @@ func (e *Encoder) EncodeBatch(batch [][]float64) ([]byte, error) {
 	e.Stats.MethodBatches[e.cur]++
 	e.Stats.RawBytes += int64(len(batch) * n * 8)
 	e.Stats.CompressedBytes += int64(len(out))
+	e.tel.Batches.Inc()
+	sw.Stop()
 	return out, nil
 }
 
 // initLevels runs the sampled optimal k-means once per encoder lifetime.
 func (e *Encoder) initLevels(snapshot0 []float64) error {
+	sw := e.tel.FitNS.Start()
+	defer sw.Stop()
 	res, err := kmeans.Cluster1D(snapshot0, e.p.KMeans)
 	if err != nil {
 		// No finite data to cluster: fall back to a unit level model; the
@@ -430,6 +456,10 @@ func (e *Encoder) encodeShard(m Method, batch [][]float64, lo, hi int, firstPred
 		prevRecon[i] = 0
 	}
 
+	// Scope counters accumulate locally and flush once per shard, keeping
+	// atomic traffic off the per-value path.
+	nOut := 0
+	qsw := e.tel.QuantNS.Start()
 	for t, snap := range batch {
 		vqSnapshot := m == VQ || (m == VQT && t == 0)
 		switch {
@@ -444,6 +474,7 @@ func (e *Encoder) encodeShard(m Method, batch [][]float64, lo, hi int, firstPred
 					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
 					recon = quant.BoundedRecon(d, e.p.ErrorBound)
 					code = quant.Reserved
+					nOut++
 				}
 				bins = append(bins, code)
 				levels = append(levels, int(lvl-prevLevel))
@@ -459,6 +490,7 @@ func (e *Encoder) encodeShard(m Method, batch [][]float64, lo, hi int, firstPred
 					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
 					recon = quant.BoundedRecon(d, e.p.ErrorBound)
 					code = quant.Reserved
+					nOut++
 				}
 				bins = append(bins, code)
 				curRecon[i-lo] = recon
@@ -475,6 +507,7 @@ func (e *Encoder) encodeShard(m Method, batch [][]float64, lo, hi int, firstPred
 					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
 					recon = quant.BoundedRecon(d, e.p.ErrorBound)
 					code = quant.Reserved
+					nOut++
 				}
 				bins = append(bins, code)
 				curRecon[i-lo] = recon
@@ -488,6 +521,7 @@ func (e *Encoder) encodeShard(m Method, batch [][]float64, lo, hi int, firstPred
 					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
 					recon = quant.BoundedRecon(d, e.p.ErrorBound)
 					code = quant.Reserved
+					nOut++
 				}
 				bins = append(bins, code)
 				curRecon[i-lo] = recon
@@ -498,6 +532,9 @@ func (e *Encoder) encodeShard(m Method, batch [][]float64, lo, hi int, firstPred
 			copy(recon0, prevRecon)
 		}
 	}
+	qsw.Stop()
+	e.tel.Values.Add(int64(bs * sn))
+	e.tel.Outliers.Add(int64(nOut))
 	sc.prevRecon, sc.curRecon = prevRecon, curRecon
 	sc.levels, sc.outliers = levels, outliers
 
@@ -514,14 +551,18 @@ func (e *Encoder) encodeShard(m Method, batch [][]float64, lo, hi int, firstPred
 	// Assemble payload sections, then run the lossless backend.
 	payload := sc.payload[:0]
 	var err error
+	hsw := e.tel.HuffNS.Start()
 	payload, err = sc.huff.EncodeInts(payload, bins)
 	if err != nil {
 		return nil, err
 	}
+	e.tel.observeHuffman(sc.huff.LastStats())
 	payload, err = sc.huff.EncodeInts(payload, levels)
 	if err != nil {
 		return nil, err
 	}
+	e.tel.observeHuffman(sc.huff.LastStats())
+	hsw.Stop()
 	payload = bitstream.AppendSection(payload, outliers)
 	sc.payload = payload
 	return e.p.Backend.Compress(payload)
@@ -569,21 +610,32 @@ func deinterleaveInto(out, bins []int, bs, n int) {
 type Decoder struct {
 	p   Params
 	ref []float64
+	tel Telemetry // by value: zero struct (all-nil fields) when disabled
 }
 
-// NewDecoder returns a Decoder. Only Backend and Pool are consulted from p
-// (other parameters are read from block headers); a zero Params selects
-// defaults.
+// NewDecoder returns a Decoder. Only Backend, Pool and Tel are consulted
+// from p (other parameters are read from block headers); a zero Params
+// selects defaults.
 func NewDecoder(p Params) *Decoder {
 	if p.Backend == nil {
 		p.Backend = lossless.LZ{}
 	}
-	return &Decoder{p: p}
+	d := &Decoder{p: p}
+	if p.Tel != nil {
+		d.tel = *p.Tel
+		d.p.Backend = lossless.Timed{B: d.p.Backend, OnDecompress: func(dur time.Duration, in, out int) {
+			d.tel.BackendNS.Observe(dur.Nanoseconds())
+			d.tel.BackendInBytes.Add(int64(in))
+			d.tel.BackendOutBytes.Add(int64(out))
+		}}
+	}
+	return d
 }
 
 // DecodeBatch reconstructs the snapshots of one block, decoding particle
 // shards concurrently on the configured pool.
 func (d *Decoder) DecodeBatch(blk []byte) ([][]float64, error) {
+	sw := d.tel.BatchNS.Start()
 	h, err := parseHeader(blk)
 	if err != nil {
 		return nil, err
@@ -611,6 +663,8 @@ func (d *Decoder) DecodeBatch(blk []byte) ([][]float64, error) {
 	if d.ref == nil {
 		d.ref = append([]float64(nil), out[0]...)
 	}
+	d.tel.Batches.Inc()
+	sw.Stop()
 	return out, nil
 }
 
@@ -638,6 +692,8 @@ func (d *Decoder) decodeShard(q *quant.Quantizer, h *header, sh shardSec, lo int
 		opos += nb
 		return v, err
 	}
+	qsw := d.tel.QuantNS.Start()
+	defer qsw.Stop()
 	for t := 0; t < bs; t++ {
 		row := bins[t*sn : (t+1)*sn]
 		snap := out[t][lo : lo+sn]
@@ -933,12 +989,14 @@ func (d *Decoder) sections(body []byte, bs, sn int, sc *decodeScratch) (bins, le
 	if sc != nil {
 		binsBuf, levelsBuf = sc.bins, sc.levels
 	}
+	hsw := d.tel.HuffNS.Start()
 	if bins, err = huffman.DecodeIntsBuf(pr, binsBuf); err != nil {
 		return nil, nil, nil, corrupt(err)
 	}
 	if levels, err = huffman.DecodeIntsBuf(pr, levelsBuf); err != nil {
 		return nil, nil, nil, corrupt(err)
 	}
+	hsw.Stop()
 	if sc != nil {
 		sc.bins, sc.levels = bins, levels
 	}

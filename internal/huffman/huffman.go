@@ -416,6 +416,29 @@ type Scratch struct {
 	freq  map[int]uint64
 	table []byte
 	w     bitstream.Writer
+	stats EncodeStats
+}
+
+// EncodeStats describes the most recent EncodeInts call on a Scratch: the
+// alphabet size and the serialized table and bit-packed payload sizes. The
+// table/payload split is what telemetry uses to track per-shard Huffman
+// table overhead (the cost that bounds useful shard counts).
+type EncodeStats struct {
+	// Symbols is the alphabet size of the encoded stream.
+	Symbols int
+	// TableBytes is the serialized code-table size.
+	TableBytes int
+	// PayloadBytes is the bit-packed symbol stream size.
+	PayloadBytes int
+}
+
+// LastStats reports the stats of the most recent EncodeInts call. A nil
+// Scratch (or one not yet used) reports zeros.
+func (s *Scratch) LastStats() EncodeStats {
+	if s == nil {
+		return EncodeStats{}
+	}
+	return s.stats
 }
 
 // EncodeInts builds a code for syms, serializes the table and the
@@ -454,6 +477,13 @@ func (s *Scratch) EncodeInts(dst []byte, syms []int) ([]byte, error) {
 	}
 	if err := enc.EncodeAll(w, syms); err != nil {
 		return nil, err
+	}
+	if s != nil {
+		s.stats = EncodeStats{
+			Symbols:      enc.NumSymbols(),
+			TableBytes:   len(table),
+			PayloadBytes: len(w.Bytes()),
+		}
 	}
 	dst = bitstream.AppendSection(dst, table)
 	dst = bitstream.AppendUvarint(dst, uint64(len(syms)))

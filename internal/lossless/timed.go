@@ -1,0 +1,43 @@
+package lossless
+
+import "time"
+
+// Timed decorates a Backend with per-call observation hooks, letting the
+// pipeline's telemetry layer attribute wall time and byte flow to the
+// lossless stage without the backend implementations knowing about
+// instrumentation. Nil hooks are skipped, and a Timed wrapper is as
+// concurrency-safe as the backend it wraps (hooks must be safe for
+// concurrent calls — telemetry instruments are).
+type Timed struct {
+	B Backend
+	// OnCompress, if non-nil, observes every Compress call with its wall
+	// time and input/output sizes.
+	OnCompress func(d time.Duration, in, out int)
+	// OnDecompress is the Decompress counterpart.
+	OnDecompress func(d time.Duration, in, out int)
+}
+
+// Name implements Backend, delegating to the wrapped backend.
+func (t Timed) Name() string { return t.B.Name() }
+
+// Compress implements Backend.
+func (t Timed) Compress(src []byte) ([]byte, error) {
+	if t.OnCompress == nil {
+		return t.B.Compress(src)
+	}
+	t0 := time.Now()
+	out, err := t.B.Compress(src)
+	t.OnCompress(time.Since(t0), len(src), len(out))
+	return out, err
+}
+
+// Decompress implements Backend.
+func (t Timed) Decompress(src []byte) ([]byte, error) {
+	if t.OnDecompress == nil {
+		return t.B.Decompress(src)
+	}
+	t0 := time.Now()
+	out, err := t.B.Decompress(src)
+	t.OnDecompress(time.Since(t0), len(src), len(out))
+	return out, err
+}

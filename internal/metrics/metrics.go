@@ -131,13 +131,22 @@ func Similarity(s0, s []float64, tau float64) (float64, error) {
 }
 
 // Histogram bins values into n equal-width bins over their range,
-// returning bin centers and counts (Fig 4's frequency plots).
+// returning bin centers and counts (Fig 4's frequency plots). Non-finite
+// values (NaN, ±Inf) are skipped — they have no place on a finite axis and
+// would otherwise poison the range (an Inf endpoint collapses every bin
+// width; a NaN bins arbitrarily via float→int conversion). When no finite
+// value remains, both results are nil.
 func Histogram(values []float64, n int) (centers []float64, counts []int) {
 	if n <= 0 || len(values) == 0 {
 		return nil, nil
 	}
 	lo, hi := math.Inf(1), math.Inf(-1)
+	finite := 0
 	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		finite++
 		if v < lo {
 			lo = v
 		}
@@ -145,18 +154,24 @@ func Histogram(values []float64, n int) (centers []float64, counts []int) {
 			hi = v
 		}
 	}
+	if finite == 0 {
+		return nil, nil
+	}
 	centers = make([]float64, n)
 	counts = make([]int, n)
 	w := (hi - lo) / float64(n)
 	if w == 0 {
 		centers[0] = lo
-		counts[0] = len(values)
+		counts[0] = finite
 		return centers, counts
 	}
 	for i := range centers {
 		centers[i] = lo + (float64(i)+0.5)*w
 	}
 	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
 		b := int((v - lo) / w)
 		if b >= n {
 			b = n - 1

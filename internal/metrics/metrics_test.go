@@ -124,6 +124,35 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramNonFinite is the regression test for non-finite poisoning:
+// NaN/±Inf contamination must not shift the finite range, leak into bin
+// counts, or produce non-finite centers.
+func TestHistogramNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	centers, counts := Histogram([]float64{0, nan, 0.1, inf, 0.9, -inf, 1.0, nan}, 2)
+	if len(centers) != 2 || len(counts) != 2 {
+		t.Fatalf("contaminated hist shape: %v %v", centers, counts)
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("contaminated counts = %v, want [2 2]", counts)
+	}
+	for _, c := range centers {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Errorf("non-finite bin center %v in %v", c, centers)
+		}
+	}
+	// Constant finite data among garbage still collapses to one bin of the
+	// finite count only.
+	_, counts = Histogram([]float64{nan, 5, 5, inf, 5}, 4)
+	if counts[0] != 3 {
+		t.Errorf("constant-with-garbage counts = %v, want counts[0]=3", counts)
+	}
+	// Nothing finite at all: no histogram.
+	if c, n := Histogram([]float64{nan, inf, -inf}, 4); c != nil || n != nil {
+		t.Errorf("all-non-finite input must yield nil,nil, got %v %v", c, n)
+	}
+}
+
 func TestPeakCount(t *testing.T) {
 	// Three separated peaks.
 	counts := []int{0, 10, 0, 0, 9, 0, 0, 12, 0}

@@ -19,12 +19,57 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/mdz/mdz/internal/telemetry"
 )
 
 // Pool is a bounded executor. A nil *Pool is valid and runs everything
 // serially on the caller's goroutine.
 type Pool struct {
 	sem chan struct{} // helper tokens: capacity = workers-1
+	tel *Telemetry    // nil when uninstrumented
+}
+
+// Telemetry is the pool's instrument set. All fields are nil-safe, so a
+// partially populated struct is fine; a nil *Telemetry disables
+// instrumentation entirely.
+type Telemetry struct {
+	// Runs counts parallel-eligible Run calls (n > 1 on a parallel pool).
+	Runs *telemetry.Counter
+	// Tasks counts tasks executed by those calls.
+	Tasks *telemetry.Counter
+	// HelperSpawns counts helper goroutines claimed from the token pool.
+	HelperSpawns *telemetry.Counter
+	// SerialDegradations counts parallel-eligible Run calls that could not
+	// claim a single helper token (a saturated pool: the call degraded to
+	// serial execution in its caller — the intended nesting behaviour, but
+	// a high rate means Workers is the bottleneck).
+	SerialDegradations *telemetry.Counter
+	// HelpersActive gauges the helper goroutines currently running.
+	HelpersActive *telemetry.Gauge
+}
+
+// Instruments builds the pool's instrument set on reg under the "pool."
+// namespace. A nil registry yields nil (uninstrumented).
+func Instruments(reg *telemetry.Registry) *Telemetry {
+	if reg == nil {
+		return nil
+	}
+	return &Telemetry{
+		Runs:               reg.Counter("pool.runs"),
+		Tasks:              reg.Counter("pool.tasks"),
+		HelperSpawns:       reg.Counter("pool.helper_spawns"),
+		SerialDegradations: reg.Counter("pool.serial_degradations"),
+		HelpersActive:      reg.Gauge("pool.helpers_active"),
+	}
+}
+
+// SetTelemetry attaches (or detaches, with nil) the pool's instruments.
+// Call it before the pool is shared between goroutines.
+func (p *Pool) SetTelemetry(t *Telemetry) {
+	if p != nil {
+		p.tel = t
+	}
 }
 
 // New returns a Pool allowing up to workers concurrently running tasks
@@ -75,20 +120,35 @@ func (p *Pool) Run(n int, f func(i int) error) error {
 		}
 	}
 	var wg sync.WaitGroup
+	spawned := 0
 spawn:
-	for spawned := 0; spawned < n-1; spawned++ {
+	for ; spawned < n-1; spawned++ {
 		select {
 		case p.sem <- struct{}{}:
+			if p.tel != nil {
+				p.tel.HelpersActive.Add(1)
+			}
 			wg.Add(1)
 			go func() {
 				defer func() {
 					<-p.sem
+					if p.tel != nil {
+						p.tel.HelpersActive.Add(-1)
+					}
 					wg.Done()
 				}()
 				work()
 			}()
 		default:
 			break spawn // pool saturated: caller absorbs the rest
+		}
+	}
+	if t := p.tel; t != nil {
+		t.Runs.Inc()
+		t.Tasks.Add(int64(n))
+		t.HelperSpawns.Add(int64(spawned))
+		if spawned == 0 {
+			t.SerialDegradations.Inc()
 		}
 	}
 	work()

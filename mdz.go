@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 
 	"github.com/mdz/mdz/internal/bitstream"
 	"github.com/mdz/mdz/internal/core"
@@ -38,6 +39,7 @@ import (
 	"github.com/mdz/mdz/internal/lossless"
 	"github.com/mdz/mdz/internal/pool"
 	"github.com/mdz/mdz/internal/quant"
+	"github.com/mdz/mdz/internal/telemetry"
 )
 
 // Frame is one trajectory snapshot: per-axis particle positions of equal
@@ -123,9 +125,19 @@ type Config struct {
 	// 1 forces single-shard blocks byte-identical to the pre-sharding
 	// format. Unlike Workers, the shard count is part of the output format.
 	Shards int
+	// Telemetry enables pipeline instrumentation: per-stage wall time,
+	// ADP decisions, quantization scope rates, pool utilization and (via
+	// Writer/Reader) stream framing overhead. Snapshots are read with
+	// Compressor.Telemetry; the live registry (for the mdzc metrics
+	// endpoint) with Compressor.TelemetryRegistry. Telemetry never changes
+	// the output bytes; when false, the instrumentation hooks compile to a
+	// nil check and cost nothing measurable.
+	Telemetry bool
 	// Parallel is superseded by Workers and retained for compatibility:
 	// axis-level parallelism is now governed by the worker pool, which
 	// defaults to GOMAXPROCS. Output bytes are unaffected either way.
+	//
+	// Deprecated: set Workers instead; this field is ignored.
 	Parallel bool
 }
 
@@ -145,6 +157,7 @@ type Compressor struct {
 	cfg  Config
 	pool *pool.Pool
 	enc  [3]*core.Encoder
+	reg  *telemetry.Registry // nil unless cfg.Telemetry
 }
 
 // NewCompressor validates cfg and returns a Compressor.
@@ -164,11 +177,20 @@ func NewCompressor(cfg Config) (*Compressor, error) {
 	if cfg.Shards < 0 || cfg.Shards > core.MaxShards {
 		return nil, fmt.Errorf("mdz: Shards must be in [0, %d], got %d", core.MaxShards, cfg.Shards)
 	}
-	return &Compressor{cfg: cfg, pool: pool.New(cfg.workers())}, nil
+	c := &Compressor{cfg: cfg, pool: pool.New(cfg.workers())}
+	if cfg.Telemetry {
+		c.reg = telemetry.NewRegistry()
+		c.pool.SetTelemetry(pool.Instruments(c.reg))
+	}
+	return c, nil
 }
 
-// params builds per-axis core parameters; for ValueRange mode the absolute
-// bound is derived from the first batch of that axis.
+// params builds per-axis core parameters. For ValueRange mode the absolute
+// bound is derived from the first batch of that axis and then frozen for
+// the compressor's lifetime — the bound is stateful, so a run whose value
+// range grows after the first batch keeps the original absolute tolerance
+// (feed a representative first batch, or use Absolute mode, when that
+// matters). NaN values are skipped by the range measurement.
 func (c *Compressor) params(axis int, firstBatch [][]float64) (core.Params, error) {
 	eb := c.cfg.ErrorBound
 	if c.cfg.Mode == ValueRange {
@@ -199,11 +221,36 @@ func (c *Compressor) params(axis int, firstBatch [][]float64) (core.Params, erro
 		KMeans:        kmeans.Options{Seed: int64(axis) + 1},
 		Shards:        c.cfg.Shards,
 		Pool:          c.pool,
+		Tel:           core.EncoderInstruments(c.reg, axisName(axis)),
 	}, nil
+}
+
+// axisName names an axis index for telemetry and error messages.
+func axisName(axis int) string {
+	return [...]string{"x", "y", "z"}[axis]
+}
+
+// checkFinite rejects ±Inf in an axis's first batch. Infinities poison the
+// value-range bound derivation (an infinite range yields an unusable
+// quantizer) and have no meaningful error-bounded encoding; NaN is allowed
+// everywhere and round-trips exactly through the outlier raw-bits path.
+func checkFinite(axis int, batch [][]float64) error {
+	for t, snap := range batch {
+		for i, v := range snap {
+			if math.IsInf(v, 0) {
+				return fmt.Errorf("%w: %v at axis %s, snapshot %d, particle %d",
+					ErrNonFinite, v, axisName(axis), t, i)
+			}
+		}
+	}
+	return nil
 }
 
 // CompressBatch compresses one buffer of frames into a self-contained block
 // (all three axes). Frames must be non-empty and share a particle count.
+// NaN values are legal anywhere and round-trip bit-exactly through the
+// outlier path; ±Inf in an axis's first batch is rejected with
+// ErrNonFinite (see checkFinite).
 func (c *Compressor) CompressBatch(frames []Frame) ([]byte, error) {
 	if len(frames) == 0 {
 		return nil, errors.New("mdz: empty batch")
@@ -222,6 +269,12 @@ func (c *Compressor) CompressBatch(frames []Frame) ([]byte, error) {
 	}
 	for axis := 0; axis < 3; axis++ {
 		if c.enc[axis] == nil {
+			// The first batch of an axis fixes its quantizer (and, in
+			// ValueRange mode, its absolute bound), so infinities here would
+			// corrupt the whole run; reject them up front.
+			if err := checkFinite(axis, series[axis]); err != nil {
+				return nil, err
+			}
 			p, err := c.params(axis, series[axis])
 			if err != nil {
 				return nil, err
@@ -299,10 +352,21 @@ func axisSeries(frames []Frame, axis int) [][]float64 {
 type Decompressor struct {
 	pool *pool.Pool
 	dec  [3]*core.Decoder
+	reg  *telemetry.Registry // nil unless opted in
+}
+
+// DecompressorOptions configures a Decompressor.
+type DecompressorOptions struct {
+	// Workers bounds axis- and shard-level parallelism (0 = GOMAXPROCS,
+	// 1 = serial). The reconstructed frames are identical for any count.
+	Workers int
+	// Telemetry enables decode-side instrumentation, read through
+	// Decompressor.Telemetry / Decompressor.TelemetryRegistry.
+	Telemetry bool
 }
 
 // NewDecompressor returns a Decompressor with default settings (a worker
-// pool sized to GOMAXPROCS; use NewDecompressorWorkers to bound it).
+// pool sized to GOMAXPROCS; use NewDecompressorWith to configure it).
 func NewDecompressor() *Decompressor {
 	return NewDecompressorWorkers(0)
 }
@@ -311,9 +375,19 @@ func NewDecompressor() *Decompressor {
 // parallelism is bounded by workers (0 = GOMAXPROCS, 1 = serial). The
 // reconstructed frames are identical for any worker count.
 func NewDecompressorWorkers(workers int) *Decompressor {
-	d := &Decompressor{pool: pool.New(workers)}
+	return NewDecompressorWith(DecompressorOptions{Workers: workers})
+}
+
+// NewDecompressorWith returns a Decompressor configured by opts.
+func NewDecompressorWith(opts DecompressorOptions) *Decompressor {
+	d := &Decompressor{pool: pool.New(opts.Workers)}
+	if opts.Telemetry {
+		d.reg = telemetry.NewRegistry()
+		d.pool.SetTelemetry(pool.Instruments(d.reg))
+	}
+	tel := core.DecoderInstruments(d.reg)
 	for i := range d.dec {
-		d.dec[i] = core.NewDecoder(core.Params{Backend: lossless.LZ{}, Pool: d.pool})
+		d.dec[i] = core.NewDecoder(core.Params{Backend: lossless.LZ{}, Pool: d.pool, Tel: tel})
 	}
 	return d
 }
@@ -409,8 +483,17 @@ func Compress(frames []Frame, cfg Config) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return c.Compress(frames)
+}
+
+// Compress compresses a whole trajectory on this Compressor: it batches
+// frames by Config.BufferSize, compresses each batch, and frames the blocks
+// into a single stream. Like CompressBatch it advances encoder state, so
+// call it on a fresh Compressor (its main advantage over the package-level
+// helper is access to Telemetry afterwards).
+func (c *Compressor) Compress(frames []Frame) ([]byte, error) {
 	out := []byte{'M', 'D', 'Z', 'F'}
-	batches := Batch(frames, cfg.BufferSize)
+	batches := Batch(frames, c.cfg.BufferSize)
 	out = bitstream.AppendUvarint(out, uint64(len(batches)))
 	for _, b := range batches {
 		blk, err := c.CompressBatch(b)
@@ -424,6 +507,13 @@ func Compress(frames []Frame, cfg Config) ([]byte, error) {
 
 // Decompress inverts Compress.
 func Decompress(stream []byte) ([]Frame, error) {
+	return NewDecompressor().Decompress(stream)
+}
+
+// Decompress reconstructs a whole trajectory produced by Compress on this
+// Decompressor. Like DecompressBatch it advances decoder state, so call it
+// on a fresh Decompressor.
+func (d *Decompressor) Decompress(stream []byte) ([]Frame, error) {
 	if len(stream) < 4 || string(stream[:4]) != "MDZF" {
 		return nil, fmt.Errorf("%w: not an MDZ stream", ErrCorruptBlock)
 	}
@@ -435,7 +525,6 @@ func Decompress(stream []byte) ([]Frame, error) {
 	if nb > 1<<30 {
 		return nil, fmt.Errorf("%w: implausible block count", ErrCorruptBlock)
 	}
-	d := NewDecompressor()
 	var frames []Frame
 	for i := uint64(0); i < nb; i++ {
 		blk, err := br.ReadSection()

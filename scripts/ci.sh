@@ -13,6 +13,11 @@ go build ./...
 go test ./...
 go test -race ./...
 
+# One-iteration benchmark smoke: compiles and executes every benchmark body
+# once (including the telemetry-enabled throughput variants) so bit-rotted
+# benchmark code fails the gate without paying for real measurement runs.
+go test -run '^$' -bench . -benchtime 1x .
+
 # Short fuzz smoke over the stream container and checkpoint parsers: ten
 # seconds each is enough to catch regressions in the framing/resync logic
 # without slowing the gate meaningfully.

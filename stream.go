@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"github.com/mdz/mdz/internal/telemetry"
 )
 
 // Stream container
@@ -80,6 +82,27 @@ type Writer struct {
 	frames   int64  // snapshots flushed into blocks
 	// raw/compressed byte counters for reporting
 	rawBytes, compBytes int64
+	tel                 streamWriterTel
+}
+
+// streamWriterTel is the Writer's instrument set. All counters are nil-safe,
+// so the zero value is the disabled state.
+type streamWriterTel struct {
+	// frames counts every framed record; checkpoints the checkpoint subset.
+	frames, checkpoints *telemetry.Counter
+	// framingBytes accumulates container overhead (magic, frame headers,
+	// CRCs); checkpointBytes the checkpoint payloads. Together they are the
+	// stream's cost over the bare compressed blocks.
+	framingBytes, checkpointBytes *telemetry.Counter
+}
+
+func newStreamWriterTel(reg *telemetry.Registry) streamWriterTel {
+	return streamWriterTel{
+		frames:          reg.Counter("stream.frames"),
+		checkpoints:     reg.Counter("stream.checkpoints"),
+		framingBytes:    reg.Counter("stream.framing.bytes"),
+		checkpointBytes: reg.Counter("stream.checkpoint.bytes"),
+	}
 }
 
 // NewWriter returns a Writer with the given configuration. The stream
@@ -99,6 +122,7 @@ func NewWriter(w io.Writer, cfg Config) (*Writer, error) {
 	return &Writer{
 		c: c, w: bufio.NewWriterSize(w, 1<<20), bs: bs,
 		interval: cfg.CheckpointInterval,
+		tel:      newStreamWriterTel(c.reg),
 	}, nil
 }
 
@@ -116,6 +140,7 @@ func (w *Writer) WriteFrame(f Frame) error {
 			return w.fail(err)
 		}
 		w.compBytes += int64(len(streamMagicV2))
+		w.tel.framingBytes.Add(int64(len(streamMagicV2)))
 		w.opened = true
 	}
 	w.pending = append(w.pending, f)
@@ -170,6 +195,12 @@ func (w *Writer) writeFrame(typ byte, payload []byte) error {
 	}
 	w.seq++
 	w.compBytes += int64(frameHeaderSize + len(payload) + frameCRCSize)
+	w.tel.frames.Inc()
+	w.tel.framingBytes.Add(frameHeaderSize + frameCRCSize)
+	if typ == frameCheckpoint {
+		w.tel.checkpoints.Inc()
+		w.tel.checkpointBytes.Add(int64(len(payload)))
+	}
 	return nil
 }
 
@@ -241,6 +272,9 @@ type ReaderOptions struct {
 	// re-establishes decoder state (from the clean prefix or the next
 	// checkpoint) and keeps going. Losses are reported via SalvageStats.
 	Resync bool
+	// Telemetry enables decode-side instrumentation, including live
+	// mirrors of the SalvageStats counters; read it via Reader.Telemetry.
+	Telemetry bool
 }
 
 // LostRange is a half-open range [From, To) of frame sequence numbers that
@@ -300,6 +334,28 @@ type Reader struct {
 	delivered int64  // snapshots queued for the caller
 	blocks    int64  // data blocks decoded
 	stats     SalvageStats
+	tel       streamReaderTel
+}
+
+// streamReaderTel mirrors SalvageStats into live instruments. All fields
+// are nil-safe, so the zero value is the disabled state.
+type streamReaderTel struct {
+	corruptFrames, resyncs, skippedBlocks, truncations *telemetry.Counter
+	skippedBytes                                       *telemetry.Counter
+	// droppedFrames is a gauge because the trailer's exact total replaces
+	// the header-derived running estimate rather than adding to it.
+	droppedFrames *telemetry.Gauge
+}
+
+func newStreamReaderTel(reg *telemetry.Registry) streamReaderTel {
+	return streamReaderTel{
+		corruptFrames: reg.Counter("stream.corrupt_frames"),
+		resyncs:       reg.Counter("stream.resyncs"),
+		skippedBlocks: reg.Counter("stream.skipped_blocks"),
+		truncations:   reg.Counter("stream.truncations"),
+		skippedBytes:  reg.Counter("stream.skipped.bytes"),
+		droppedFrames: reg.Gauge("stream.dropped_frames"),
+	}
 }
 
 // NewReader returns a Reader over r with the default worker pool
@@ -317,10 +373,12 @@ func NewReaderWorkers(r io.Reader, workers int) *Reader {
 
 // NewReaderWith returns a Reader configured by opts.
 func NewReaderWith(r io.Reader, opts ReaderOptions) *Reader {
+	d := NewDecompressorWith(DecompressorOptions{Workers: opts.Workers, Telemetry: opts.Telemetry})
 	return &Reader{
-		d:      NewDecompressorWorkers(opts.Workers),
+		d:      d,
 		src:    r,
 		resync: opts.Resync,
+		tel:    newStreamReaderTel(d.reg),
 	}
 }
 
@@ -504,9 +562,9 @@ func (r *Reader) v1Corrupt(err error) error {
 	}
 	r.recordCorrupt(cbe)
 	if errors.Is(err, ErrTruncated) {
-		r.stats.Truncated = true
+		r.markTruncated()
 	}
-	r.stats.SkippedBytes += int64(r.buffered())
+	r.countSkipped(int64(r.buffered()))
 	r.discard(r.buffered())
 	return io.EOF
 }
@@ -620,7 +678,7 @@ func (r *Reader) nextFrameV2() (frameParse, int64, error) {
 			if !r.resync {
 				return fp, frameOff, err
 			}
-			r.stats.Truncated = true
+			r.markTruncated()
 			r.noteTruncation(frameOff, err)
 			return fp, frameOff, io.EOF
 
@@ -629,9 +687,9 @@ func (r *Reader) nextFrameV2() (frameParse, int64, error) {
 			if !r.resync {
 				return fp, frameOff, err
 			}
-			r.stats.Truncated = true
+			r.markTruncated()
 			r.noteTruncation(frameOff, err)
-			r.stats.SkippedBytes += int64(r.buffered())
+			r.countSkipped(int64(r.buffered()))
 			r.discard(r.buffered())
 			return fp, frameOff, io.EOF
 
@@ -646,6 +704,7 @@ func (r *Reader) nextFrameV2() (frameParse, int64, error) {
 			if !r.scanning {
 				r.recordCorrupt(cbe)
 				r.stats.Resyncs++
+				r.tel.resyncs.Inc()
 				r.scanning = true
 				if !r.d.seeded() {
 					r.await = true
@@ -663,12 +722,12 @@ func (r *Reader) nextFrameV2() (frameParse, int64, error) {
 // candidate (or the end of input), counting everything it skips.
 func (r *Reader) scanSync() {
 	if r.buffered() > 0 {
-		r.stats.SkippedBytes++
+		r.countSkipped(1)
 		r.discard(1)
 	}
 	for {
 		if i := bytes.Index(r.buf[r.pos:], frameSync[:]); i >= 0 {
-			r.stats.SkippedBytes += int64(i)
+			r.countSkipped(int64(i))
 			r.discard(i)
 			return
 		}
@@ -679,10 +738,10 @@ func (r *Reader) scanSync() {
 			keep = r.buffered()
 		}
 		drop := r.buffered() - keep
-		r.stats.SkippedBytes += int64(drop)
+		r.countSkipped(int64(drop))
 		r.discard(drop)
 		if !r.fillTo(keep + 1) {
-			r.stats.SkippedBytes += int64(r.buffered())
+			r.countSkipped(int64(r.buffered()))
 			r.discard(r.buffered())
 			return
 		}
@@ -703,8 +762,10 @@ func (r *Reader) nextBatchV2() error {
 				// Intact but undecodable before a checkpoint reseeds the
 				// decoder: account for it precisely via its header.
 				r.stats.SkippedBlocks++
+				r.tel.skippedBlocks.Inc()
 				if bs, berr := blockSnapshots(fp.payload); berr == nil {
 					r.stats.DroppedFrames += bs
+					r.tel.droppedFrames.Set(int64(r.stats.DroppedFrames))
 				}
 				r.extendLost(fp.seq, fp.seq+1)
 				continue
@@ -786,6 +847,7 @@ func (r *Reader) nextBatchV2() error {
 			// loss estimate.
 			if int64(snapTotal) >= r.delivered {
 				r.stats.DroppedFrames = int(int64(snapTotal) - r.delivered)
+				r.tel.droppedFrames.Set(int64(r.stats.DroppedFrames))
 			}
 			return io.EOF
 		}
@@ -795,9 +857,24 @@ func (r *Reader) nextBatchV2() error {
 // recordCorrupt accounts one corruption event.
 func (r *Reader) recordCorrupt(cbe *CorruptBlockError) {
 	r.stats.CorruptFrames++
+	r.tel.corruptFrames.Inc()
 	if r.stats.FirstError == nil {
 		r.stats.FirstError = cbe
 	}
+}
+
+// countSkipped accounts n bytes discarded while hunting for sync markers.
+func (r *Reader) countSkipped(n int64) {
+	r.stats.SkippedBytes += n
+	r.tel.skippedBytes.Add(n)
+}
+
+// markTruncated records that the stream ended without a trailer.
+func (r *Reader) markTruncated() {
+	if !r.stats.Truncated {
+		r.tel.truncations.Inc()
+	}
+	r.stats.Truncated = true
 }
 
 // noteTruncation records the truncation point as the first error if the

@@ -1,0 +1,60 @@
+package mdz
+
+import (
+	"github.com/mdz/mdz/internal/telemetry"
+)
+
+// TelemetryRegistry is the live instrument registry behind a Compressor or
+// Decompressor with telemetry enabled. It is what the mdzc metrics endpoint
+// scrapes; most callers only need point-in-time snapshots via Telemetry.
+// All methods are safe for concurrent use and nil-safe (a nil registry is
+// the disabled state).
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetrySnapshot is a point-in-time copy of every counter, gauge and
+// histogram. It marshals to stable JSON (sorted keys) for machine-readable
+// run reports.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// Telemetry returns a snapshot of the compressor's instruments: per-stage
+// wall time (k-means fit, fused predict+quantize, Huffman, lossless
+// backend), per-axis ADP evaluation/win/transition counts, quantization
+// scope counters (compress.quant.values / .outliers), Huffman table
+// overhead, lossless byte flow and pool utilization. Nil when the
+// Compressor was built without Config.Telemetry.
+func (c *Compressor) Telemetry() *TelemetrySnapshot { return c.reg.Snapshot() }
+
+// TelemetryRegistry exposes the live registry (nil when telemetry is
+// disabled), for callers that serve metrics continuously instead of reading
+// snapshots.
+func (c *Compressor) TelemetryRegistry() *TelemetryRegistry { return c.reg }
+
+// Telemetry returns a snapshot of the decompressor's instruments (decode
+// stage timings, lossless byte flow, pool utilization). Nil when built
+// without DecompressorOptions.Telemetry.
+func (d *Decompressor) Telemetry() *TelemetrySnapshot { return d.reg.Snapshot() }
+
+// TelemetryRegistry exposes the decompressor's live registry (nil when
+// telemetry is disabled).
+func (d *Decompressor) TelemetryRegistry() *TelemetryRegistry { return d.reg }
+
+// Telemetry returns a snapshot of the stream writer's instruments — the
+// embedded Compressor's pipeline metrics plus container accounting
+// (stream.frames, stream.checkpoints, stream.framing.bytes,
+// stream.checkpoint.bytes). Nil when Config.Telemetry was off.
+func (w *Writer) Telemetry() *TelemetrySnapshot { return w.c.reg.Snapshot() }
+
+// TelemetryRegistry exposes the stream writer's live registry (nil when
+// telemetry is disabled).
+func (w *Writer) TelemetryRegistry() *TelemetryRegistry { return w.c.reg }
+
+// Telemetry returns a snapshot of the stream reader's instruments — the
+// embedded Decompressor's decode metrics plus live mirrors of the
+// SalvageStats counters (stream.corrupt_frames, stream.resyncs,
+// stream.skipped.bytes, stream.skipped_blocks, stream.dropped_frames,
+// stream.truncations). Nil when ReaderOptions.Telemetry was off.
+func (r *Reader) Telemetry() *TelemetrySnapshot { return r.d.reg.Snapshot() }
+
+// TelemetryRegistry exposes the stream reader's live registry (nil when
+// telemetry is disabled).
+func (r *Reader) TelemetryRegistry() *TelemetryRegistry { return r.d.reg }

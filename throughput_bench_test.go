@@ -57,6 +57,35 @@ func BenchmarkCompressBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkCompressBatchTelemetry measures the instrumented hot path under
+// the same load as BenchmarkCompressBatch's auto-shard case. Comparing the
+// two quantifies the telemetry overhead (acceptance: ≤2% throughput):
+//
+//	go test -bench 'CompressBatch(Telemetry)?/shards=0' -benchtime 3s .
+func BenchmarkCompressBatchTelemetry(b *testing.B) {
+	frames := benchFrames()
+	rawBytes := int64(benchSnapshots * benchParticles * 3 * 8)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("shards=0/workers=%d", workers), func(b *testing.B) {
+			c, err := NewCompressor(Config{ErrorBound: 1e-3, Workers: workers, Telemetry: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.CompressBatch(frames); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(rawBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.CompressBatch(frames); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkDecompressBatch(b *testing.B) {
 	frames := benchFrames()
 	rawBytes := int64(benchSnapshots * benchParticles * 3 * 8)
