@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench
+.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare
 
 all: build
 
@@ -25,3 +25,12 @@ ci:
 # Hot-path throughput benchmarks for the sharded parallel pipeline.
 bench:
 	$(GO) test -run xxx -bench 'CompressBatch|DecompressBatch' -benchmem .
+
+# Entropy-stage benchmark: per-stage MB/s, ns/value and compression ratio
+# per method. bench-entropy refreshes the committed report; bench-compare
+# diffs a fresh run against it.
+bench-entropy:
+	$(GO) run ./cmd/mdzbench -entropy -json BENCH_entropy.json
+
+bench-compare:
+	$(GO) run ./cmd/mdzbench -entropy -compare BENCH_entropy.json

@@ -8,6 +8,13 @@
 //	mdzbench -list                 # show experiment ids
 //	mdzbench -exp fig13 -scale 0.5 # smaller datasets
 //	mdzbench -exp tab5 -csv        # machine-readable output
+//
+// The entropy-stage benchmark (per-stage MB/s, ns/value and compression
+// ratio per method) has its own mode:
+//
+//	mdzbench -entropy                          # human-readable table
+//	mdzbench -entropy -json BENCH_entropy.json # also write the JSON report
+//	mdzbench -entropy -compare BENCH_entropy.json # diff against a report
 package main
 
 import (
@@ -27,8 +34,18 @@ func main() {
 	seed := flag.Int64("seed", 42, "dataset generation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	outDir := flag.String("out", "", "also write <exp>.csv files into this directory")
+	entropy := flag.Bool("entropy", false, "run the entropy-stage benchmark")
+	jsonPath := flag.String("json", "", "with -entropy: write the machine-readable report to this path")
+	compare := flag.String("compare", "", "with -entropy: diff the run against a committed report")
 	flag.Parse()
 
+	if *entropy {
+		if err := runEntropy(*jsonPath, *compare, bench.Config{Scale: *scale, Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "mdzbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, id := range bench.Experiments() {
 			fmt.Printf("%-6s %s\n", id, bench.Title(id))

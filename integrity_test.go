@@ -35,8 +35,8 @@ func TestBlockChecksumDetectsCorruption(t *testing.T) {
 
 func TestParallelMatchesSequential(t *testing.T) {
 	frames := makeFrames(20, 200, 32)
-	seq, _ := NewCompressor(Config{ErrorBound: 1e-3})
-	par, _ := NewCompressor(Config{ErrorBound: 1e-3, Parallel: true})
+	seq, _ := NewCompressor(Config{ErrorBound: 1e-3, Workers: 1})
+	par, _ := NewCompressor(Config{ErrorBound: 1e-3, Workers: 4})
 	for _, batch := range Batch(frames, 10) {
 		a, err := seq.CompressBatch(batch)
 		if err != nil {

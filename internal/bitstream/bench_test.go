@@ -1,0 +1,77 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkWriterWriteBits measures the word-at-a-time bit writer on a mix
+// of widths typical of Huffman output (mostly short codes, some long).
+func BenchmarkWriterWriteBits(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	widths := make([]uint, 1<<14)
+	vals := make([]uint64, len(widths))
+	total := 0
+	for i := range widths {
+		w := uint(3 + rng.Intn(14))
+		widths[i] = w
+		vals[i] = rng.Uint64() & ((1 << w) - 1)
+		total += int(w)
+	}
+	b.SetBytes(int64(total / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := &Writer{}
+		for j, n := range widths {
+			w.WriteBits(vals[j], n)
+		}
+		if len(w.Bytes()) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+// BenchmarkReaderReadBits measures the word-buffered reader over the same
+// width mix, including refill and straddle handling.
+func BenchmarkReaderReadBits(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	widths := make([]uint, 1<<14)
+	w := &Writer{}
+	total := 0
+	for i := range widths {
+		n := uint(3 + rng.Intn(14))
+		widths[i] = n
+		w.WriteBits(rng.Uint64()&((1<<n)-1), n)
+		total += int(n)
+	}
+	buf := w.Bytes()
+	b.SetBytes(int64(total / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		for _, n := range widths {
+			if _, err := r.ReadBits(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkReaderPeekSkip measures the Peek+Skip pattern the table-driven
+// Huffman decoder leans on.
+func BenchmarkReaderPeekSkip(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 1<<14)
+	rng.Read(buf)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		for r.BitsRemaining() >= 16 {
+			bits, _ := r.Peek(11)
+			if err := r.Skip(5 + uint(bits&7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

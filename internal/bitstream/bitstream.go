@@ -16,12 +16,16 @@ import (
 // ErrShortStream is returned when a reader runs out of input mid-value.
 var ErrShortStream = errors.New("bitstream: unexpected end of stream")
 
-// Writer accumulates bits MSB-first into an in-memory buffer.
+// Writer accumulates bits MSB-first into an in-memory buffer. Bits are
+// packed into a 64-bit accumulator and flushed eight bytes at a time, so
+// WriteBits performs no per-bit (or per-byte) work on the hot path. The
+// wire format is unchanged from the historical byte-at-a-time writer:
+// MSB-first bits, zero padding on Align/Bytes.
 // The zero value is ready to use.
 type Writer struct {
 	buf  []byte
-	cur  uint64 // pending bits, left-aligned within nbit
-	nbit uint   // number of pending bits in cur (< 8 after flushes)
+	cur  uint64 // pending bits, right-aligned (low nbit bits valid)
+	nbit uint   // number of pending bits in cur (< 64)
 }
 
 // NewWriter returns a Writer with capacity preallocated for n bytes.
@@ -42,20 +46,23 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 	if n < 64 {
 		v &= (1 << n) - 1
 	}
-	for n > 0 {
-		take := 8 - w.nbit
-		if take > n {
-			take = n
-		}
-		// Bits of v from position n-1 down to n-take.
-		chunk := (v >> (n - take)) & ((1 << take) - 1)
-		w.cur = (w.cur << take) | chunk
-		w.nbit += take
-		n -= take
-		if w.nbit == 8 {
-			w.buf = append(w.buf, byte(w.cur))
-			w.cur, w.nbit = 0, 0
-		}
+	if free := 64 - w.nbit; n > free {
+		// Top up the accumulator with the high `free` bits of v, flush the
+		// full word, and start a fresh accumulator with the remainder.
+		// (free can be 0 here only if nbit were 64, which never survives a
+		// WriteBits call, so the shifts below are well defined.)
+		w.cur = (w.cur << free) | (v >> (n - free))
+		w.buf = binary.BigEndian.AppendUint64(w.buf, w.cur)
+		n -= free
+		w.cur = v & ((1 << n) - 1)
+		w.nbit = n
+		return
+	}
+	w.cur = (w.cur << n) | v
+	w.nbit += n
+	if w.nbit == 64 {
+		w.buf = binary.BigEndian.AppendUint64(w.buf, w.cur)
+		w.cur, w.nbit = 0, 0
 	}
 }
 
@@ -73,11 +80,18 @@ func (w *Writer) WriteUnary(v uint64) {
 
 // Align pads the stream with zero bits up to the next byte boundary.
 func (w *Writer) Align() {
-	if w.nbit > 0 {
-		w.cur <<= 8 - w.nbit
-		w.buf = append(w.buf, byte(w.cur))
-		w.cur, w.nbit = 0, 0
+	if w.nbit == 0 {
+		return
 	}
+	if pad := w.nbit % 8; pad != 0 {
+		w.cur <<= 8 - pad
+		w.nbit += 8 - pad
+	}
+	for w.nbit > 0 {
+		w.nbit -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nbit))
+	}
+	w.cur = 0
 }
 
 // Bytes flushes any partial byte (zero padded) and returns the encoded
@@ -98,12 +112,14 @@ func (w *Writer) Reset() {
 	w.cur, w.nbit = 0, 0
 }
 
-// Reader consumes bits MSB-first from a byte slice.
+// Reader consumes bits MSB-first from a byte slice. It maintains a 64-bit
+// bit buffer refilled a word at a time from the input, so Peek and Skip on
+// buffered bits compile down to shifts and masks with no per-bit branching.
 type Reader struct {
 	buf  []byte
-	pos  int  // next byte index
-	cur  byte // current byte being consumed
-	nbit uint // bits remaining in cur
+	pos  int    // next unread byte index (bytes before pos are buffered in cur)
+	cur  uint64 // bit buffer: the next stream bit is bit 63; bits below nbit are zero
+	nbit uint   // number of valid (top-aligned) bits in cur, <= 64
 }
 
 // NewReader returns a Reader over buf. The Reader does not copy buf.
@@ -111,81 +127,187 @@ func NewReader(buf []byte) *Reader {
 	return &Reader{buf: buf}
 }
 
-// ReadBit reads a single bit.
-func (r *Reader) ReadBit() (uint, error) {
-	v, err := r.ReadBits(1)
-	return uint(v), err
+// Fill tops up the 64-bit bit buffer from the input and reports the number
+// of buffered bits now available (at least 57 unless the input is nearly
+// exhausted). Callers that batch-decode can Fill once and then use PeekFast
+// and SkipFast, which perform no refill or bounds checks of their own.
+func (r *Reader) Fill() uint {
+	if r.pos+8 <= len(r.buf) {
+		// Insert as many whole bytes from a single 8-byte load as fit above
+		// the valid region, keeping the below-nbit bits zero.
+		w := binary.BigEndian.Uint64(r.buf[r.pos:])
+		free := 64 - r.nbit
+		take := free &^ 7 // whole bytes only
+		r.cur |= (w >> (64 - take) << (free - take))
+		r.pos += int(take >> 3)
+		r.nbit += take
+		return r.nbit
+	}
+	for r.nbit <= 56 && r.pos < len(r.buf) {
+		r.cur |= uint64(r.buf[r.pos]) << (56 - r.nbit)
+		r.pos++
+		r.nbit += 8
+	}
+	return r.nbit
 }
 
-// ReadBits reads n bits (n <= 64) MSB-first and returns them right-aligned.
-func (r *Reader) ReadBits(n uint) (uint64, error) {
-	var v uint64
-	for n > 0 {
-		if r.nbit == 0 {
-			if r.pos >= len(r.buf) {
-				return 0, ErrShortStream
-			}
-			r.cur = r.buf[r.pos]
-			r.pos++
-			r.nbit = 8
-		}
-		take := r.nbit
-		if take > n {
-			take = n
-		}
-		chunk := uint64(r.cur >> (r.nbit - take))
-		chunk &= (1 << take) - 1
-		v = (v << take) | chunk
-		r.nbit -= take
-		n -= take
+// Buffered reports the number of bits currently held in the bit buffer
+// (consumable via PeekFast/SkipFast without a Fill).
+func (r *Reader) Buffered() uint { return r.nbit }
+
+// BitsRemaining reports the total number of unread bits, buffered or not.
+func (r *Reader) BitsRemaining() int {
+	return (len(r.buf)-r.pos)*8 + int(r.nbit)
+}
+
+// PeekFast returns the next n bits MSB-first and right-aligned without
+// consuming them. It performs no refill and no bounds checks: the caller
+// must ensure 0 < n <= Buffered() (typically by calling Fill first).
+func (r *Reader) PeekFast(n uint) uint64 {
+	return r.cur >> (64 - n)
+}
+
+// SkipFast consumes n bits without any checks: the caller must ensure
+// n <= Buffered().
+func (r *Reader) SkipFast(n uint) {
+	r.cur <<= n
+	r.nbit -= n
+}
+
+// drain consumes all remaining input, mirroring the historical reader's
+// state after a short read (everything consumed, then ErrShortStream).
+func (r *Reader) drain() {
+	r.pos = len(r.buf)
+	r.cur, r.nbit = 0, 0
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.nbit == 0 && r.Fill() == 0 {
+		return 0, ErrShortStream
 	}
+	v := uint(r.cur >> 63)
+	r.cur <<= 1
+	r.nbit--
 	return v, nil
 }
 
-// Peek returns the next n bits (n <= 32) without consuming them, MSB-first
-// and right-aligned, zero-padded past the end of the stream. avail reports
-// how many of the returned bits actually exist.
+// ReadBits reads n bits (n <= 64) MSB-first and returns them right-aligned.
+// If fewer than n bits remain, the reader consumes them all and returns
+// ErrShortStream.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	if r.nbit < n && r.Fill() < n {
+		return r.readBitsStraddle(n)
+	}
+	v := r.cur >> (64 - n)
+	r.cur <<= n
+	r.nbit -= n
+	return v, nil
+}
+
+// readBitsStraddle handles the rare case where a wide unaligned read cannot
+// be served from the 64-bit buffer alone (a byte-granular refill tops out at
+// 57-63 buffered bits): it consumes the buffered bits, refills, and splices.
+func (r *Reader) readBitsStraddle(n uint) (uint64, error) {
+	if r.BitsRemaining() < int(n) {
+		r.drain()
+		return 0, ErrShortStream
+	}
+	take := r.nbit
+	hi := uint64(0)
+	if take > 0 {
+		hi = r.cur >> (64 - take)
+	}
+	r.cur, r.nbit = 0, 0
+	r.Fill()
+	rem := n - take // <= 7: the straddle only occurs with >= 57 bits buffered
+	lo := r.cur >> (64 - rem)
+	r.cur <<= rem
+	r.nbit -= rem
+	return hi<<rem | lo, nil
+}
+
+// Peek returns the next n bits (n <= 64) without consuming them, MSB-first
+// and right-aligned, zero-padded past the end of the stream.
+//
+// Contract: avail = min(n, bits remaining) reports how many of the returned
+// bits actually exist in the stream; the n-avail low bits of the result are
+// zero padding, not data. Peek never fails — at end of stream it silently
+// returns avail < n (possibly 0) — so callers that treat the padded result
+// as data without checking avail will mistake padding for a value. Always
+// gate on avail (see huffman.Decoder.Decode for the canonical pattern:
+// a table hit is only taken when the code length fits within avail).
 func (r *Reader) Peek(n uint) (bits uint64, avail uint) {
-	availBits := uint(len(r.buf)-r.pos)*8 + r.nbit
-	take := n
-	if take > availBits {
-		take = availBits
+	if n == 0 {
+		return 0, 0
 	}
-	// Gather up to n bits starting at the current position.
-	var v uint64
-	got := uint(0)
-	// Bits left in the current partial byte.
-	if r.nbit > 0 {
-		cur := uint64(r.cur) & ((1 << r.nbit) - 1)
-		if r.nbit >= take {
-			v = cur >> (r.nbit - take)
-			got = take
-		} else {
-			v = cur
-			got = r.nbit
+	if r.nbit < n {
+		if r.Fill() < n && r.pos < len(r.buf) {
+			return r.peekStraddle(n)
 		}
 	}
-	pos := r.pos
-	for got < take {
+	avail = n
+	if r.nbit < n {
+		avail = r.nbit
+	}
+	// Bits below nbit in cur are zero by invariant, so the result is
+	// automatically zero-padded past the end of the stream.
+	return r.cur >> (64 - n), avail
+}
+
+// peekStraddle assembles a lookahead wider than the bit buffer can hold (a
+// byte-granular refill of an unaligned buffer tops out at 57-63 bits, so
+// this only triggers for n in 58..64) by reading ahead in the input without
+// consuming it.
+func (r *Reader) peekStraddle(n uint) (bits uint64, avail uint) {
+	v := r.cur
+	got := r.nbit
+	for pos := r.pos; got < n && pos < len(r.buf); pos++ {
 		b := uint64(r.buf[pos])
-		pos++
-		need := take - got
-		if need >= 8 {
-			v = (v << 8) | b
-			got += 8
+		if got <= 56 {
+			v |= b << (56 - got)
 		} else {
-			v = (v << need) | (b >> (8 - need))
-			got += need
+			// Only the high 64-got bits of b fit in the window; the rest
+			// are beyond bit 64 and cannot be part of an n<=64 peek.
+			v |= b >> (got - 56)
 		}
+		got += 8
 	}
-	return v << (n - got), take
+	avail = n
+	if got < n {
+		avail = got
+	}
+	return v >> (64 - n), avail
 }
 
 // Skip consumes n bits previously examined with Peek. It returns
-// ErrShortStream if fewer than n bits remain.
+// ErrShortStream (consuming all remaining bits) if fewer than n remain.
 func (r *Reader) Skip(n uint) error {
-	_, err := r.ReadBits(n)
-	return err
+	if r.nbit >= n {
+		r.cur <<= n
+		r.nbit -= n
+		return nil
+	}
+	if r.Fill() < n {
+		if r.BitsRemaining() < int(n) {
+			r.drain()
+			return ErrShortStream
+		}
+		// Wide unaligned skip straddles the bit buffer: discard the
+		// buffered bits, refill, and drop the remainder (<= 7 bits).
+		rem := n - r.nbit
+		r.cur, r.nbit = 0, 0
+		r.Fill()
+		r.cur <<= rem
+		r.nbit -= rem
+		return nil
+	}
+	r.cur <<= n
+	r.nbit -= n
+	return nil
 }
 
 // ReadUnary reads a unary code written by WriteUnary.
@@ -205,12 +327,16 @@ func (r *Reader) ReadUnary() (uint64, error) {
 
 // Align discards bits up to the next byte boundary.
 func (r *Reader) Align() {
-	r.nbit = 0
+	// Total bits consumed so far is pos*8 - nbit; dropping nbit%8 bits
+	// lands it on the next byte boundary of the underlying stream.
+	k := r.nbit % 8
+	r.cur <<= k
+	r.nbit -= k
 }
 
 // Remaining reports the number of unread whole bytes (after alignment).
 func (r *Reader) Remaining() int {
-	return len(r.buf) - r.pos
+	return len(r.buf) - r.pos + int(r.nbit/8)
 }
 
 // ZigZag maps a signed integer to an unsigned one so small-magnitude values

@@ -444,109 +444,87 @@ func (e *Encoder) encodeShard(m Method, batch [][]float64, lo, hi int, firstPred
 	bs, sn := len(batch), hi-lo
 	sc := encScratchPool.Get().(*encodeScratch)
 	defer encScratchPool.Put(sc)
-	bins := sc.bins[:0] // snapshot-major during prediction
-	if cap(bins) < bs*sn {
-		bins = make([]int, 0, bs*sn)
-	}
-	levels := sc.levels[:0]                  // J stream: level-index deltas (VQ-coded snapshots)
-	outliers := sc.outliers[:0]              // exact values in snapshot-major traversal order
-	prevRecon := floatsCap(sc.prevRecon, sn) // reconstructed previous snapshot
-	curRecon := floatsCap(sc.curRecon, sn)
-	for i := range prevRecon {
-		prevRecon[i] = 0
+	bins := intsCap(sc.bins, bs*sn) // codes in serialized order
+	sc.bins = bins
+	levels := sc.levels[:0]          // J stream: level-index deltas (VQ-coded snapshots)
+	outliers := sc.outliers[:0]      // exact values in snapshot-major traversal order
+	recon := floatsCap(sc.recon, sn) // reconstruction of the latest snapshot row
+
+	// The fused kernels write each row's codes straight into their
+	// serialized position: Seq-1 is snapshot-major (row t at t*sn, stride
+	// 1), Seq-2 is particle-major (row t at offset t, stride bs), so no
+	// separate interleave pass runs.
+	stride, rowStep := 1, sn
+	if e.p.Sequence == Seq2 {
+		stride, rowStep = bs, 1
 	}
 
 	// Scope counters accumulate locally and flush once per shard, keeping
 	// atomic traffic off the per-value path.
 	nOut := 0
+	eb := e.p.ErrorBound
 	qsw := e.tel.QuantNS.Start()
 	for t, snap := range batch {
+		data := snap[lo:hi]
+		base := t * rowStep
+		rowOut := 0
 		vqSnapshot := m == VQ || (m == VQT && t == 0)
 		switch {
 		case vqSnapshot:
-			lam, mu := e.km.LevelDistance, e.km.LevelOrigin
-			prevLevel := int64(0)
-			for i := lo; i < hi; i++ {
-				d := snap[i]
-				lvl, centroid := predictor.Level(d, lam, mu)
-				code, recon, ok := e.q.Quantize(d, centroid)
-				if !ok {
-					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
-					recon = quant.BoundedRecon(d, e.p.ErrorBound)
-					code = quant.Reserved
-					nOut++
-				}
-				bins = append(bins, code)
-				levels = append(levels, int(lvl-prevLevel))
-				prevLevel = lvl
-				curRecon[i-lo] = recon
-			}
+			var lvlRow []int
+			levels, lvlRow = extendInts(levels, sn)
+			rowOut = e.q.QuantizeBlockVQ(data, e.km.LevelDistance, e.km.LevelOrigin, bins, base, stride, lvlRow, recon)
 		case t == 0 && m == MT && firstPred == firstRef:
-			ref := e.ref[lo:hi]
-			for i := lo; i < hi; i++ {
-				d := snap[i]
-				code, recon, ok := e.q.Quantize(d, ref[i-lo])
-				if !ok {
-					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
-					recon = quant.BoundedRecon(d, e.p.ErrorBound)
-					code = quant.Reserved
-					nOut++
-				}
-				bins = append(bins, code)
-				curRecon[i-lo] = recon
-			}
+			rowOut = e.q.QuantizeBlock(data, e.ref[lo:hi], bins, base, stride, recon)
 		case t == 0 && m == MT:
 			// Very first batch of the run: no reference exists yet, so the
 			// initial snapshot is coded with spatial Lorenzo (restarting at
-			// each shard boundary).
+			// each shard boundary). This stays scalar — every prediction
+			// depends on the previous value's possibly-bounded recon, so
+			// the outlier fix-up can't be deferred past the next value.
 			prev := 0.0
-			for i := lo; i < hi; i++ {
-				d := snap[i]
-				code, recon, ok := e.q.Quantize(d, prev)
+			ci := base
+			for i, d := range data {
+				code, rec, ok := e.q.Quantize(d, prev)
 				if !ok {
-					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
-					recon = quant.BoundedRecon(d, e.p.ErrorBound)
+					outliers = quant.AppendBounded(outliers, d, eb)
+					rec = quant.BoundedRecon(d, eb)
 					code = quant.Reserved
 					nOut++
 				}
-				bins = append(bins, code)
-				curRecon[i-lo] = recon
-				prev = recon
+				bins[ci] = code
+				recon[i] = rec
+				prev = rec
+				ci += stride
 			}
 		default: // time-based prediction from the previous snapshot
-			for i := lo; i < hi; i++ {
-				d := snap[i]
-				code, recon, ok := e.q.Quantize(d, prevRecon[i-lo])
-				if !ok {
-					outliers = quant.AppendBounded(outliers, d, e.p.ErrorBound)
-					recon = quant.BoundedRecon(d, e.p.ErrorBound)
-					code = quant.Reserved
-					nOut++
+			rowOut = e.q.QuantizeBlockTime(data, recon, bins, base, stride)
+		}
+		if rowOut > 0 {
+			// Out-of-scope fix-up: the kernels left the original value in
+			// recon[i] under each Reserved code. Store it exactly and swap
+			// in the bounded reconstruction, in traversal order, before the
+			// next row's time prediction reads recon.
+			nOut += rowOut
+			ci := base
+			for i := range recon {
+				if bins[ci] == quant.Reserved {
+					d := recon[i]
+					outliers = quant.AppendBounded(outliers, d, eb)
+					recon[i] = quant.BoundedRecon(d, eb)
 				}
-				bins = append(bins, code)
-				curRecon[i-lo] = recon
+				ci += stride
 			}
 		}
-		prevRecon, curRecon = curRecon, prevRecon
 		if t == 0 {
-			copy(recon0, prevRecon)
+			copy(recon0, recon)
 		}
 	}
 	qsw.Stop()
 	e.tel.Values.Add(int64(bs * sn))
 	e.tel.Outliers.Add(int64(nOut))
-	sc.prevRecon, sc.curRecon = prevRecon, curRecon
+	sc.recon = recon
 	sc.levels, sc.outliers = levels, outliers
-
-	if e.p.Sequence == Seq2 {
-		sc.bins = bins // keep the snapshot-major buffer for reuse
-		inter := intsCap(sc.inter, len(bins))
-		interleaveInto(inter, bins, bs, sn)
-		sc.inter = inter
-		bins = inter
-	} else {
-		sc.bins = bins
-	}
 
 	// Assemble payload sections, then run the lossless backend.
 	payload := sc.payload[:0]
@@ -679,86 +657,68 @@ func (d *Decoder) decodeShard(q *quant.Quantizer, h *header, sh shardSec, lo int
 	if err != nil {
 		return err
 	}
+	// Strided reads pull each row straight out of the serialized order —
+	// Seq-2 streams are no longer deinterleaved into a scratch copy.
+	stride, rowStep := 1, sn
 	if h.seq == Seq2 {
-		inter := intsCap(sc.inter, len(bins))
-		deinterleaveInto(inter, bins, bs, sn)
-		sc.inter = inter
-		bins = inter
+		stride, rowStep = bs, 1
 	}
 	opos := 0
 	levelPos := 0
-	nextOutlier := func() (float64, error) {
-		v, nb, err := quant.ReadBounded(outliers[opos:], h.eb)
-		opos += nb
-		return v, err
-	}
 	qsw := d.tel.QuantNS.Start()
 	defer qsw.Stop()
 	for t := 0; t < bs; t++ {
-		row := bins[t*sn : (t+1)*sn]
+		base := t * rowStep
 		snap := out[t][lo : lo+sn]
+		nRes := 0
 		vqSnapshot := h.method == VQ || (h.method == VQT && t == 0) ||
 			(h.method == MT && t == 0 && h.firstPred == firstVQ)
 		switch {
 		case vqSnapshot:
-			prevLevel := int64(0)
-			for i := 0; i < sn; i++ {
-				if levelPos >= len(levels) {
-					return ErrCorrupt
-				}
-				lvl := prevLevel + int64(levels[levelPos])
-				levelPos++
-				prevLevel = lvl
-				centroid := predictor.Centroid(lvl, h.lam, h.mu)
-				if quant.IsReserved(row[i]) {
-					v, err := nextOutlier()
-					if err != nil {
-						return ErrCorrupt
-					}
-					snap[i] = v
-				} else {
-					snap[i] = q.Dequantize(row[i], centroid)
-				}
+			if len(levels)-levelPos < sn {
+				return ErrCorrupt
 			}
+			lvlRow := levels[levelPos : levelPos+sn]
+			levelPos += sn
+			nRes = q.DequantizeBlockVQ(bins, base, stride, lvlRow, h.lam, h.mu, snap)
 		case t == 0 && h.method == MT && h.firstPred == firstLorenzo:
+			// Scalar, like the encoder: each prediction needs the previous
+			// value's final (possibly outlier-restored) reconstruction.
 			prev := 0.0
+			ci := base
 			for i := 0; i < sn; i++ {
-				if quant.IsReserved(row[i]) {
-					v, err := nextOutlier()
+				if quant.IsReserved(bins[ci]) {
+					v, nb, err := quant.ReadBounded(outliers[opos:], h.eb)
 					if err != nil {
 						return ErrCorrupt
 					}
+					opos += nb
 					snap[i] = v
 				} else {
-					snap[i] = q.Dequantize(row[i], prev)
+					snap[i] = q.Dequantize(bins[ci], prev)
 				}
 				prev = snap[i]
+				ci += stride
 			}
 		case t == 0 && h.method == MT && h.firstPred == firstRef:
-			ref := d.ref[lo : lo+sn]
-			for i := 0; i < sn; i++ {
-				if quant.IsReserved(row[i]) {
-					v, err := nextOutlier()
-					if err != nil {
-						return ErrCorrupt
-					}
-					snap[i] = v
-				} else {
-					snap[i] = q.Dequantize(row[i], ref[i])
-				}
-			}
+			nRes = q.DequantizeBlock(bins, base, stride, d.ref[lo:lo+sn], snap)
 		default: // time-based
-			prev := out[t-1][lo : lo+sn]
+			nRes = q.DequantizeBlock(bins, base, stride, out[t-1][lo:lo+sn], snap)
+		}
+		if nRes > 0 {
+			// Outlier fix-up in traversal order, before the next row's time
+			// prediction reads snap.
+			ci := base
 			for i := 0; i < sn; i++ {
-				if quant.IsReserved(row[i]) {
-					v, err := nextOutlier()
+				if quant.IsReserved(bins[ci]) {
+					v, nb, err := quant.ReadBounded(outliers[opos:], h.eb)
 					if err != nil {
 						return ErrCorrupt
 					}
+					opos += nb
 					snap[i] = v
-				} else {
-					snap[i] = q.Dequantize(row[i], prev[i])
 				}
+				ci += stride
 			}
 		}
 	}
@@ -809,30 +769,33 @@ func (d *Decoder) decodeShardSnapshot(q *quant.Quantizer, h *header, sh shardSec
 	if len(levels) != bs*sn {
 		return ErrCorrupt // VQ blocks carry one level delta per value
 	}
+	stride, rowStep := 1, sn
 	if h.seq == Seq2 {
-		inter := intsCap(sc.inter, len(bins))
-		deinterleaveInto(inter, bins, bs, sn)
-		sc.inter = inter
-		bins = inter
+		stride, rowStep = bs, 1
 	}
-	// Position the outlier cursor: count reserved codes before row t.
+	// Position the outlier cursor: skip reserved codes of rows before t in
+	// snapshot-major traversal order (the order the encoder stored them).
 	opos := 0
-	for _, code := range bins[:t*sn] {
-		if quant.IsReserved(code) {
-			_, n2, err := quant.ReadBounded(outliers[opos:], h.eb)
-			if err != nil {
-				return ErrCorrupt
+	for tt := 0; tt < t; tt++ {
+		ci := tt * rowStep
+		for i := 0; i < sn; i++ {
+			if quant.IsReserved(bins[ci]) {
+				_, n2, err := quant.ReadBounded(outliers[opos:], h.eb)
+				if err != nil {
+					return ErrCorrupt
+				}
+				opos += n2
 			}
-			opos += n2
+			ci += stride
 		}
 	}
-	row := bins[t*sn : (t+1)*sn]
 	lvlRow := levels[t*sn : (t+1)*sn]
 	prevLevel := int64(0)
+	ci := t * rowStep
 	for i := 0; i < sn; i++ {
 		lvl := prevLevel + int64(lvlRow[i])
 		prevLevel = lvl
-		if quant.IsReserved(row[i]) {
+		if quant.IsReserved(bins[ci]) {
 			v, n2, err := quant.ReadBounded(outliers[opos:], h.eb)
 			if err != nil {
 				return ErrCorrupt
@@ -840,8 +803,9 @@ func (d *Decoder) decodeShardSnapshot(q *quant.Quantizer, h *header, sh shardSec
 			opos += n2
 			snap[lo+i] = v
 		} else {
-			snap[lo+i] = q.Dequantize(row[i], predictor.Centroid(lvl, h.lam, h.mu))
+			snap[lo+i] = q.Dequantize(bins[ci], predictor.Centroid(lvl, h.lam, h.mu))
 		}
+		ci += stride
 	}
 	return nil
 }

@@ -7,16 +7,18 @@ import (
 )
 
 // encodeScratch holds the per-shard working buffers of the encode hot path
-// (quantization bins, level deltas, interleave target, reconstruction rows,
-// outlier bytes, payload assembly, Huffman scratch). Instances are recycled
-// through a sync.Pool so steady-state encoding performs no per-batch slice
+// (quantization bins, level deltas, reconstruction row, outlier bytes,
+// payload assembly, Huffman scratch). Instances are recycled through a
+// sync.Pool so steady-state encoding performs no per-batch slice
 // allocations; each concurrent shard task owns one instance for the
-// duration of its encode.
+// duration of its encode. The fused kernels write codes directly in
+// serialized order and chain reconstructions in place, so no interleave
+// target or second reconstruction row is needed.
 type encodeScratch struct {
-	bins, levels, inter []int
-	prevRecon, curRecon []float64
-	outliers, payload   []byte
-	huff                huffman.Scratch
+	bins, levels      []int
+	recon             []float64
+	outliers, payload []byte
+	huff              huffman.Scratch
 }
 
 var encScratchPool = sync.Pool{New: func() any { return new(encodeScratch) }}
@@ -25,7 +27,7 @@ var encScratchPool = sync.Pool{New: func() any { return new(encodeScratch) }}
 // rows themselves are returned to the caller and therefore always freshly
 // allocated; only the transient symbol streams are pooled.
 type decodeScratch struct {
-	bins, levels, inter []int
+	bins, levels []int
 }
 
 var decScratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
@@ -45,4 +47,20 @@ func floatsCap(s []float64, n int) []float64 {
 		return make([]float64, n)
 	}
 	return s[:n]
+}
+
+// extendInts grows s by n elements and returns the grown slice plus the new
+// tail, whose contents are unspecified (callers overwrite every element).
+// Doubling growth keeps pooled buffers from reallocating every row.
+func extendInts(s []int, n int) ([]int, []int) {
+	l := len(s)
+	if cap(s) < l+n {
+		c := 2*cap(s) + n
+		ns := make([]int, l+n, c)
+		copy(ns, s)
+		s = ns
+	} else {
+		s = s[:l+n]
+	}
+	return s, s[l:]
 }

@@ -60,6 +60,12 @@ type Encoder struct {
 	// table serialization, cached at build time
 	symbols []int
 	lengths []uint8
+	// dense, when non-nil, maps symbol s to its code at index s-denseMin,
+	// replacing the per-symbol map lookup on the encode hot path. Built when
+	// the alphabet is near-contiguous — the common case for quantization
+	// bins, which cluster around the zero bin. Holes have code length 0.
+	denseMin int
+	dense    []code
 }
 
 type code struct {
@@ -84,11 +90,28 @@ func Build(freq map[int]uint64) (*Encoder, error) {
 		return &Encoder{codes: map[int]code{}}, nil
 	}
 	sort.Ints(syms)
+	weights := make([]uint64, len(syms))
+	for i, s := range syms {
+		weights[i] = freq[s]
+	}
+	return buildSorted(syms, weights)
+}
+
+// buildSorted constructs the canonical code for symbols given in strictly
+// ascending order with positive weights. It is the common backend of Build
+// and the dense (map-free) counting path in EncodeInts, and produces
+// identical codes for identical (symbol, weight) multisets. The slices are
+// not retained.
+func buildSorted(syms []int, weights []uint64) (*Encoder, error) {
+	if len(syms) == 0 {
+		return &Encoder{codes: map[int]code{}}, nil
+	}
 	if len(syms) == 1 {
 		// Degenerate alphabet: one-bit code.
 		e := &Encoder{codes: map[int]code{syms[0]: {0, 1}}}
 		e.symbols = []int{syms[0]}
 		e.lengths = []uint8{1}
+		e.buildDense()
 		return e, nil
 	}
 	// All tree nodes live in one slab (len(syms) leaves + len(syms)-1
@@ -97,9 +120,9 @@ func Build(freq map[int]uint64) (*Encoder, error) {
 	slab := make([]heapNode, 2*len(syms)-1)
 	h := make(nodeHeap, 0, len(syms))
 	order := 0
-	for _, s := range syms {
+	for i, s := range syms {
 		node := &slab[order]
-		*node = heapNode{weight: freq[s], symbol: s, order: order}
+		*node = heapNode{weight: weights[i], symbol: s, order: order}
 		h = append(h, node)
 		order++
 	}
@@ -171,13 +194,56 @@ func fromLengths(lengths map[int]uint8) (*Encoder, error) {
 		e.lengths = append(e.lengths, it.l)
 		next++
 	}
+	e.buildDense()
 	return e, nil
+}
+
+// buildDense materializes the slice-indexed code lookup covering
+// [denseMin, denseMin+len(dense)) when the alphabet is dense enough for the
+// table to be small; very sparse alphabets keep the map-only lookup.
+func (e *Encoder) buildDense() {
+	if len(e.symbols) == 0 {
+		return
+	}
+	lo, hi := e.symbols[0], e.symbols[0]
+	for _, s := range e.symbols[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	// Unsigned difference is exact even when hi-lo overflows int.
+	diff := uint64(hi) - uint64(lo)
+	if diff >= uint64(2*len(e.symbols)+1024) {
+		return
+	}
+	e.denseMin = lo
+	e.dense = make([]code, int(diff)+1)
+	for i, s := range e.symbols {
+		e.dense[s-lo] = code{bits: e.codes[s].bits, n: e.lengths[i]}
+	}
+}
+
+// lookup resolves the code for symbol s via the dense table when present.
+func (e *Encoder) lookup(s int) (code, bool) {
+	if e.dense != nil {
+		if idx := s - e.denseMin; uint(idx) < uint(len(e.dense)) {
+			c := e.dense[idx]
+			return c, c.n != 0
+		}
+		return code{}, false
+	}
+	c, ok := e.codes[s]
+	return c, ok
 }
 
 // CodeLen returns the code length in bits for symbol s, or 0 if s is not in
 // the alphabet.
 func (e *Encoder) CodeLen(s int) int {
-	return int(e.codes[s].n)
+	c, _ := e.lookup(s)
+	return int(c.n)
 }
 
 // NumSymbols reports the alphabet size.
@@ -186,7 +252,7 @@ func (e *Encoder) NumSymbols() int { return len(e.codes) }
 // Encode appends the code for symbol s to w. Encoding a symbol outside the
 // alphabet returns an error.
 func (e *Encoder) Encode(w *bitstream.Writer, s int) error {
-	c, ok := e.codes[s]
+	c, ok := e.lookup(s)
 	if !ok {
 		return fmt.Errorf("huffman: symbol %d not in alphabet", s)
 	}
@@ -196,6 +262,18 @@ func (e *Encoder) Encode(w *bitstream.Writer, s int) error {
 
 // EncodeAll encodes a symbol slice.
 func (e *Encoder) EncodeAll(w *bitstream.Writer, syms []int) error {
+	if e.dense != nil {
+		// Hot path: slice-indexed code lookup, no per-symbol call overhead.
+		lo, dense := e.denseMin, e.dense
+		for _, s := range syms {
+			idx := s - lo
+			if uint(idx) >= uint(len(dense)) || dense[idx].n == 0 {
+				return fmt.Errorf("huffman: symbol %d not in alphabet", s)
+			}
+			w.WriteBits(dense[idx].bits, uint(dense[idx].n))
+		}
+		return nil
+	}
 	for _, s := range syms {
 		if err := e.Encode(w, s); err != nil {
 			return err
@@ -227,14 +305,30 @@ func (e *Encoder) AppendTable(dst []byte) []byte {
 	return dst
 }
 
-// lutBits is the width of the one-shot decode table: codes up to this
-// length resolve with a single peek instead of a bitwise walk.
+// lutBits is the width of the root decode table: codes up to this length
+// resolve with a single peek instead of a bitwise walk.
 const lutBits = 11
 
-// lutEntry packs (symbol index, code length) for the fast decode path.
+// subMaxBits caps the width of any second-level subtable; codes longer than
+// lutBits+subMaxBits bits always decode via the canonical bitwise walk.
+const subMaxBits = 12
+
+// maxSubEntries bounds the total second-level table size (entries across all
+// subtables, ~1 MiB at 8 bytes each) so an adversarial — but Kraft-valid —
+// serialized table cannot force huge allocations. Prefixes that miss the
+// budget decode via the slow path; decoded output is unaffected.
+const maxSubEntries = 1 << 17
+
+// lutEntry is one slot of the two-level decode table. A leaf (len != 0)
+// resolves a complete code: index is the symbol's canonical position and
+// len its total code length. A node (len == 0, sub != 0) points at a
+// second-level subtable: index is the base offset into Decoder.sub and sub
+// the subtable's width in bits. len == 0 && sub == 0 marks a prefix with no
+// table coverage (invalid, or a long code left to the slow path).
 type lutEntry struct {
-	index int32 // index into symbols; -1 for slow path
+	index int32
 	len   uint8
+	sub   uint8
 }
 
 // Decoder rebuilds a canonical code from a serialized table and decodes
@@ -246,8 +340,10 @@ type Decoder struct {
 	count      [MaxCodeLen + 1]int
 	symbols    []int // canonical order
 	maxLen     uint8
-	// lut resolves all codes of length <= lutBits in one table lookup.
+	// lut is the lutBits-wide root table; sub holds the overflow subtables
+	// for codes longer than lutBits, one contiguous region per root prefix.
 	lut []lutEntry
+	sub []lutEntry
 }
 
 // ReadTable parses a table serialized by AppendTable from br and returns the
@@ -326,9 +422,12 @@ func NewDecoder(lengths map[int]uint8) (*Decoder, error) {
 	return d, nil
 }
 
-// buildLUT fills the one-shot decode table: every lutBits-wide prefix whose
-// leading bits form a complete code of length <= lutBits maps directly to
-// its symbol.
+// buildLUT fills the two-level decode table. Level one: every lutBits-wide
+// prefix whose leading bits form a complete code of length <= lutBits maps
+// directly to its symbol. Level two: each prefix shared by longer codes
+// gets a subtable sized for its longest code (capped at subMaxBits and the
+// global maxSubEntries budget); codes past the caps keep len==0 entries and
+// decode via the canonical bitwise walk.
 func (d *Decoder) buildLUT() {
 	d.lut = make([]lutEntry, 1<<lutBits)
 	for i := range d.lut {
@@ -349,6 +448,55 @@ func (d *Decoder) buildLUT() {
 			}
 		}
 	}
+	if d.maxLen <= lutBits {
+		return
+	}
+	// Width (bits beyond the root prefix) each prefix's subtable needs to
+	// cover its longest code.
+	ext := make([]uint8, 1<<lutBits)
+	for l := lutBits + 1; l <= int(d.maxLen); l++ {
+		for k := 0; k < d.count[l]; k++ {
+			code := d.firstCode[l] + uint64(k)
+			p := code >> (uint(l) - lutBits)
+			if e := uint8(l - lutBits); e > ext[p] {
+				ext[p] = e
+			}
+		}
+	}
+	total := 0
+	for p, w := range ext {
+		if w == 0 {
+			continue
+		}
+		if w > subMaxBits {
+			w = subMaxBits
+		}
+		if total+(1<<w) > maxSubEntries {
+			continue // budget exhausted: prefix stays on the slow path
+		}
+		d.lut[p] = lutEntry{index: int32(total), sub: w}
+		total += 1 << w
+	}
+	d.sub = make([]lutEntry, total)
+	for i := range d.sub {
+		d.sub[i].index = -1
+	}
+	for l := lutBits + 1; l <= int(d.maxLen); l++ {
+		for k := 0; k < d.count[l]; k++ {
+			code := d.firstCode[l] + uint64(k)
+			symIdx := int32(d.firstIndex[l] + k)
+			extBits := uint(l) - lutBits
+			node := d.lut[code>>extBits]
+			if node.sub == 0 || uint(node.sub) < extBits {
+				continue // no subtable, or code longer than it covers
+			}
+			rem := uint(node.sub) - extBits
+			base := uint64(node.index) + (code&((1<<extBits)-1))<<rem
+			for s := uint64(0); s < 1<<rem; s++ {
+				d.sub[base+s] = lutEntry{index: symIdx, len: uint8(l)}
+			}
+		}
+	}
 }
 
 // Decode reads one symbol from r.
@@ -356,18 +504,37 @@ func (d *Decoder) Decode(r *bitstream.Reader) (int, error) {
 	if len(d.symbols) == 0 {
 		return 0, ErrCorrupt
 	}
-	// Fast path: resolve short codes with a single table lookup.
-	if d.lut != nil {
-		if bits, avail := r.Peek(lutBits); avail > 0 {
-			e := d.lut[bits]
-			if e.index >= 0 && uint(e.len) <= avail {
-				if err := r.Skip(uint(e.len)); err != nil {
+	// Fast path: resolve codes through the two-level table. A table hit is
+	// only taken when the full code length fits within avail, so zero
+	// padding past end-of-stream is never mistaken for data.
+	if bits, avail := r.Peek(lutBits); avail > 0 {
+		e := d.lut[bits]
+		if e.len != 0 && uint(e.len) <= avail {
+			if err := r.Skip(uint(e.len)); err != nil {
+				return 0, err
+			}
+			return d.symbols[e.index], nil
+		}
+		if e.sub != 0 {
+			w := uint(e.sub)
+			bits2, avail2 := r.Peek(lutBits + w)
+			se := d.sub[uint64(e.index)+(bits2&((1<<w)-1))]
+			if se.len != 0 && uint(se.len) <= avail2 {
+				if err := r.Skip(uint(se.len)); err != nil {
 					return 0, err
 				}
-				return d.symbols[e.index], nil
+				return d.symbols[se.index], nil
 			}
 		}
 	}
+	return d.decodeSlow(r)
+}
+
+// decodeSlow is the canonical bitwise walk, the single source of truth for
+// error semantics: ErrShortStream if the stream ends mid-code, ErrCorrupt
+// after maxLen bits match nothing. It also decodes the (rare) codes the
+// table budget does not cover.
+func (d *Decoder) decodeSlow(r *bitstream.Reader) (int, error) {
 	var c uint64
 	for l := uint8(1); l <= d.maxLen; l++ {
 		b, err := r.ReadBit()
@@ -391,6 +558,13 @@ func (d *Decoder) DecodeAll(r *bitstream.Reader, n int) ([]int, error) {
 }
 
 // DecodeAllBuf reads exactly n symbols, reusing buf when it has capacity.
+//
+// The fast loop keeps the reader's 64-bit buffer topped up with at least
+// maxLen real stream bits, so table lookups need no avail gating and
+// consume via PeekFast/SkipFast with zero per-symbol checks. Near the end
+// of the input (or for pathological tables whose maxLen exceeds the refill
+// guarantee) it falls back to the checked per-symbol Decode, which
+// preserves the historical error semantics exactly.
 func (d *Decoder) DecodeAllBuf(r *bitstream.Reader, n int, buf []int) ([]int, error) {
 	var out []int
 	if cap(buf) >= n {
@@ -398,7 +572,48 @@ func (d *Decoder) DecodeAllBuf(r *bitstream.Reader, n int, buf []int) ([]int, er
 	} else {
 		out = make([]int, n)
 	}
-	for i := 0; i < n; i++ {
+	if n == 0 {
+		return out, nil
+	}
+	if len(d.symbols) == 0 {
+		return nil, ErrCorrupt
+	}
+	need := uint(lutBits)
+	if m := uint(d.maxLen); m > need {
+		need = m
+	}
+	lut, sub, symbols := d.lut, d.sub, d.symbols
+	i := 0
+	for i < n {
+		if r.Buffered() < need && r.Fill() < need {
+			break // near end of input: finish with the checked path
+		}
+		e := lut[r.PeekFast(lutBits)]
+		if e.len != 0 {
+			r.SkipFast(uint(e.len))
+			out[i] = symbols[e.index]
+			i++
+			continue
+		}
+		if e.sub != 0 {
+			w := uint(e.sub)
+			se := sub[uint64(e.index)+(r.PeekFast(lutBits+w)&((1<<w)-1))]
+			if se.len != 0 {
+				r.SkipFast(uint(se.len))
+				out[i] = symbols[se.index]
+				i++
+				continue
+			}
+		}
+		// Uncovered long code or invalid prefix: one checked decode.
+		s, err := d.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+		i++
+	}
+	for ; i < n; i++ {
 		s, err := d.Decode(r)
 		if err != nil {
 			return nil, err
@@ -413,10 +628,13 @@ func (d *Decoder) DecodeAllBuf(r *bitstream.Reader, n int, buf []int) ([]int, er
 // Scratch must not be used from multiple goroutines concurrently; the zero
 // value is ready to use.
 type Scratch struct {
-	freq  map[int]uint64
-	table []byte
-	w     bitstream.Writer
-	stats EncodeStats
+	freq    map[int]uint64
+	counts  []uint64 // dense frequency buffer, indexed by symbol-min
+	syms    []int    // dense alphabet scratch (ascending)
+	weights []uint64 // weights parallel to syms
+	table   []byte
+	w       bitstream.Writer
+	stats   EncodeStats
 }
 
 // EncodeStats describes the most recent EncodeInts call on a Scratch: the
@@ -446,21 +664,7 @@ func (s *Scratch) LastStats() EncodeStats {
 // sections appended to dst, reusing the Scratch's internal buffers. A nil
 // receiver is valid and allocates fresh buffers.
 func (s *Scratch) EncodeInts(dst []byte, syms []int) ([]byte, error) {
-	var freq map[int]uint64
-	if s == nil {
-		freq = make(map[int]uint64)
-	} else {
-		if s.freq == nil {
-			s.freq = make(map[int]uint64, 64)
-		} else {
-			clear(s.freq)
-		}
-		freq = s.freq
-	}
-	for _, sym := range syms {
-		freq[sym]++
-	}
-	enc, err := Build(freq)
+	enc, err := s.buildFor(syms)
 	if err != nil {
 		return nil, err
 	}
@@ -489,6 +693,75 @@ func (s *Scratch) EncodeInts(dst []byte, syms []int) ([]byte, error) {
 	dst = bitstream.AppendUvarint(dst, uint64(len(syms)))
 	dst = bitstream.AppendSection(dst, w.Bytes())
 	return dst, nil
+}
+
+// buildFor computes symbol frequencies and builds the canonical code. When
+// the symbol range is near-contiguous — the common case for quantization
+// bins — counting uses a dense slice instead of a map (one array increment
+// per value); the resulting code is byte-identical to the map path because
+// a dense ascending scan visits symbols in exactly sorted order.
+func (s *Scratch) buildFor(syms []int) (*Encoder, error) {
+	if len(syms) == 0 {
+		return Build(nil)
+	}
+	lo, hi := syms[0], syms[0]
+	for _, v := range syms[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	// hi-lo as a uint64 is exact even when the int subtraction would
+	// overflow (e.g. extreme sentinel codes at both ends of the range).
+	diff := uint64(hi) - uint64(lo)
+	if diff < uint64(4*len(syms)+1024) && diff < 1<<20 {
+		span := int(diff) + 1
+		var counts []uint64
+		if s != nil && cap(s.counts) >= span {
+			counts = s.counts[:span]
+			clear(counts)
+		} else {
+			counts = make([]uint64, span)
+			if s != nil {
+				s.counts = counts
+			}
+		}
+		for _, v := range syms {
+			counts[v-lo]++
+		}
+		var alph []int
+		var wts []uint64
+		if s != nil {
+			alph, wts = s.syms[:0], s.weights[:0]
+		}
+		for i, c := range counts {
+			if c != 0 {
+				alph = append(alph, lo+i)
+				wts = append(wts, c)
+			}
+		}
+		if s != nil {
+			s.syms, s.weights = alph, wts
+		}
+		return buildSorted(alph, wts)
+	}
+	var freq map[int]uint64
+	if s == nil {
+		freq = make(map[int]uint64)
+	} else {
+		if s.freq == nil {
+			s.freq = make(map[int]uint64, 64)
+		} else {
+			clear(s.freq)
+		}
+		freq = s.freq
+	}
+	for _, sym := range syms {
+		freq[sym]++
+	}
+	return Build(freq)
 }
 
 // EncodeInts is a convenience that builds a code for syms, serializes the

@@ -13,6 +13,7 @@ package sz2
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/mdz/mdz/internal/bitstream"
 	"github.com/mdz/mdz/internal/huffman"
@@ -71,6 +72,14 @@ func (c *Compressor) scale() int {
 }
 
 const blockMagic = "SZ2B"
+
+// huffScratchPool and decBinsPool recycle Huffman encoder state and decoded
+// bin buffers across calls, keeping per-series table and symbol-buffer
+// allocations off the steady-state path.
+var (
+	huffScratchPool = sync.Pool{New: func() any { return new(huffman.Scratch) }}
+	decBinsPool     = sync.Pool{New: func() any { return new([]int) }}
+)
 
 // CompressSeries compresses one axis batch (snapshots × particles) under
 // absolute error bound eb.
@@ -138,7 +147,9 @@ func (c *Compressor) CompressSeries(batch [][]float64, eb float64) ([]byte, erro
 		}
 	}
 	var payload []byte
-	payload, err = huffman.EncodeInts(payload, bins)
+	hs := huffScratchPool.Get().(*huffman.Scratch)
+	payload, err = hs.EncodeInts(payload, bins)
+	huffScratchPool.Put(hs)
 	if err != nil {
 		return nil, err
 	}
@@ -205,10 +216,13 @@ func (c *Compressor) DecompressSeries(blk []byte) ([][]float64, error) {
 		return nil, err
 	}
 	pr := bitstream.NewByteReader(payload)
-	bins, err := huffman.DecodeInts(pr)
+	bp := decBinsPool.Get().(*[]int)
+	defer decBinsPool.Put(bp)
+	bins, err := huffman.DecodeIntsBuf(pr, *bp)
 	if err != nil {
 		return nil, err
 	}
+	*bp = bins
 	outliers, err := pr.ReadSection()
 	if err != nil {
 		return nil, err

@@ -18,8 +18,21 @@ go test -race ./...
 # benchmark code fails the gate without paying for real measurement runs.
 go test -run '^$' -bench . -benchtime 1x .
 
+# Entropy-stage micro-benchmarks once under the race detector: the
+# word-at-a-time bitstream and table-driven Huffman paths use pooled
+# scratch state, and one racing iteration of each body is a cheap guard on
+# that reuse.
+go test -race -run '^$' -bench . -benchtime 1x ./internal/bitstream ./internal/huffman
+
 # Short fuzz smoke over the stream container and checkpoint parsers: ten
 # seconds each is enough to catch regressions in the framing/resync logic
 # without slowing the gate meaningfully.
 go test -run '^$' -fuzz '^FuzzStreamReader$' -fuzztime 10s .
 go test -run '^$' -fuzz '^FuzzCheckpointUnmarshal$' -fuzztime 10s .
+
+# Differential fuzz of the entropy hot path: the word-buffered bitstream
+# Reader against the historical byte-at-a-time reader, and the two-level
+# table-driven Huffman decoder against the tree-walking decoder. Identical
+# symbols AND identical error behavior are asserted on every input.
+go test -run '^$' -fuzz '^FuzzReaderDifferential$' -fuzztime 10s ./internal/bitstream
+go test -run '^$' -fuzz '^FuzzDecodeDifferential$' -fuzztime 10s ./internal/huffman
