@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare
+.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare bench-lossless
 
 all: build
 
@@ -34,3 +34,10 @@ bench-entropy:
 
 bench-compare:
 	$(GO) run ./cmd/mdzbench -entropy -compare BENCH_entropy.json
+
+# Dictionary-coder hot path: LZ and byte-Huffman micro-benchmarks (with
+# alloc counts), the pooled flate/zlib writers, and the pipeline-payload
+# benchmark that replays the exact bytes the VQ pipeline hands the backend.
+bench-lossless:
+	$(GO) test -run xxx -bench 'LZCompress|LZDecompress|EncodeBytes|DecodeBytes|FlateCompress|ZlibCompress' -benchmem ./internal/lossless ./internal/huffman
+	$(GO) test -run xxx -bench 'VQPayload' -benchmem ./internal/bench

@@ -242,6 +242,16 @@ func CompareEntropy(w io.Writer, old, cur *EntropyReport) error {
 		fmt.Fprintf(w, "%-6s %8.2f -> %6.2f %10.1f -> %8.1f %10.1f -> %8.1f  (%+.0f%% dec)\n",
 			m, o.Ratio, n.Ratio, o.EncodeMBps, n.EncodeMBps, o.DecodeMBps, n.DecodeMBps,
 			pct(o.DecodeMBps, n.DecodeMBps))
+		// Soft regression gate: flag drops past the machine-noise margin
+		// (~±10% on shared runners) without failing the caller — CI treats
+		// these as warnings, since wall-clock numbers are advisory.
+		const margin = 0.85
+		if n.EncodeMBps < o.EncodeMBps*margin {
+			fmt.Fprintf(w, "WARNING: %s encode throughput regressed %.1f -> %.1f MB/s\n", m, o.EncodeMBps, n.EncodeMBps)
+		}
+		if n.DecodeMBps < o.DecodeMBps*margin {
+			fmt.Fprintf(w, "WARNING: %s decode throughput regressed %.1f -> %.1f MB/s\n", m, o.DecodeMBps, n.DecodeMBps)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/mdz/mdz/internal/core"
+	"github.com/mdz/mdz/internal/kmeans"
+	"github.com/mdz/mdz/internal/lossless"
+)
+
+// capturingBackend wraps LZ and records every payload the pipeline hands it,
+// so the backend can be re-benchmarked on the exact bytes the VQ pipeline
+// produces rather than on synthetic data.
+type capturingBackend struct {
+	lossless.LZ
+	payloads *[][]byte
+}
+
+func (c capturingBackend) Compress(src []byte) ([]byte, error) {
+	cp := append([]byte(nil), src...)
+	*c.payloads = append(*c.payloads, cp)
+	return c.LZ.Compress(src)
+}
+
+// vqPayloads runs the Copper-B analog through the VQ pipeline (the entropy
+// benchmark's configuration) and returns every lossless-stage input payload.
+func vqPayloads(tb testing.TB) [][]byte {
+	d, err := load("Copper-B", Config{Scale: 1.0, Seed: 42})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var payloads [][]byte
+	var encs [3]*core.Encoder
+	for axis := 0; axis < 3; axis++ {
+		enc, err := core.NewEncoder(core.Params{
+			ErrorBound: 1e-4,
+			Method:     core.VQ,
+			Shards:     1,
+			KMeans:     kmeans.Options{Seed: int64(axis) + 1},
+			Backend:    capturingBackend{payloads: &payloads},
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		encs[axis] = enc
+	}
+	for _, b := range d.Batches(10) {
+		var axes [3][][]float64
+		for _, f := range b {
+			axes[0] = append(axes[0], f.X)
+			axes[1] = append(axes[1], f.Y)
+			axes[2] = append(axes[2], f.Z)
+		}
+		for axis, enc := range encs {
+			if _, err := enc.EncodeBatch(axes[axis]); err != nil {
+				tb.Fatalf("axis %d: %v", axis, err)
+			}
+		}
+	}
+	return payloads
+}
+
+func BenchmarkLZCompressVQPayload(b *testing.B) {
+	payloads := vqPayloads(b)
+	var total int64
+	for _, p := range payloads {
+		total += int64(len(p))
+	}
+	b.Logf("%d payloads, %d bytes total", len(payloads), total)
+	z := lossless.LZ{}
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		for _, p := range payloads {
+			var err error
+			dst, err = z.AppendCompress(dst[:0], p)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkLZDecompressVQPayload(b *testing.B) {
+	payloads := vqPayloads(b)
+	z := lossless.LZ{}
+	var comp [][]byte
+	var total int64
+	for _, p := range payloads {
+		c, err := z.Compress(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp = append(comp, c)
+		total += int64(len(p))
+	}
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		for _, c := range comp {
+			var err error
+			dst, err = z.AppendDecompress(dst[:0], c)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -127,6 +127,14 @@ func NewReader(buf []byte) *Reader {
 	return &Reader{buf: buf}
 }
 
+// Reset repositions the Reader at the start of buf, discarding all state.
+// It lets long-lived (pooled) readers avoid a per-use allocation.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.cur, r.nbit = 0, 0
+}
+
 // Fill tops up the 64-bit bit buffer from the input and reports the number
 // of buffered bits now available (at least 57 unless the input is nearly
 // exhausted). Callers that batch-decode can Fill once and then use PeekFast
@@ -154,6 +162,17 @@ func (r *Reader) Fill() uint {
 // Buffered reports the number of bits currently held in the bit buffer
 // (consumable via PeekFast/SkipFast without a Fill).
 func (r *Reader) Buffered() uint { return r.nbit }
+
+// BitState exposes the raw bit buffer (next stream bit at bit 63, bits below
+// nbit zero) so batch decoders can peek and consume in registers instead of
+// through pointer loads. Pair with SetBitState to write the advanced state
+// back before any other Reader method runs.
+func (r *Reader) BitState() (cur uint64, nbit uint) { return r.cur, r.nbit }
+
+// SetBitState writes back a bit-buffer state previously obtained from
+// BitState and advanced only by left-shifting cur while decrementing nbit by
+// the same amount (which preserves the bits-below-nbit-are-zero invariant).
+func (r *Reader) SetBitState(cur uint64, nbit uint) { r.cur, r.nbit = cur, nbit }
 
 // BitsRemaining reports the total number of unread bits, buffered or not.
 func (r *Reader) BitsRemaining() int {
@@ -432,6 +451,12 @@ type ByteReader struct {
 // NewByteReader returns a cursor positioned at the start of buf.
 func NewByteReader(buf []byte) *ByteReader {
 	return &ByteReader{buf: buf}
+}
+
+// Reset repositions the cursor at the start of buf, discarding all state.
+func (b *ByteReader) Reset(buf []byte) {
+	b.buf = buf
+	b.off = 0
 }
 
 // Len reports unread bytes.

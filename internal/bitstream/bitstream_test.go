@@ -180,6 +180,67 @@ func TestTruncatedScalars(t *testing.T) {
 	}
 }
 
+func TestReaderReset(t *testing.T) {
+	w := &Writer{}
+	w.WriteBits(0xABC, 12)
+	first := append([]byte(nil), w.Bytes()...)
+	w.Reset()
+	w.WriteBits(0x5, 3)
+	second := append([]byte(nil), w.Bytes()...)
+
+	r := NewReader(first)
+	if got, err := r.ReadBits(12); err != nil || got != 0xABC {
+		t.Fatalf("first read: %x, %v", got, err)
+	}
+	r.Reset(second)
+	if got, err := r.ReadBits(3); err != nil || got != 0x5 {
+		t.Errorf("after Reset: %x, %v", got, err)
+	}
+	if got := r.BitsRemaining(); got != 5 {
+		t.Errorf("after Reset + 3 bits: %d bits remaining, want 5 (byte padding)", got)
+	}
+}
+
+func TestByteReaderReset(t *testing.T) {
+	br := NewByteReader([]byte{1, 2, 3})
+	if _, err := br.ReadBytes(3); err != nil {
+		t.Fatal(err)
+	}
+	br.Reset([]byte{9, 8})
+	if br.Offset() != 0 || br.Len() != 2 {
+		t.Fatalf("after Reset: off %d len %d", br.Offset(), br.Len())
+	}
+	if b, err := br.ReadByte(); err != nil || b != 9 {
+		t.Errorf("after Reset: %d, %v", b, err)
+	}
+}
+
+// TestBitState checks the register-batching accessor pair: state read out,
+// advanced exactly as the Decode hot loops advance it (left shifts), and
+// written back must leave the Reader indistinguishable from one that
+// consumed the same bits through ReadBits.
+func TestBitState(t *testing.T) {
+	w := &Writer{}
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0xDEAD, 16)
+	w.WriteBits(0x3F, 6)
+	r := NewReader(w.Bytes())
+	r.Fill()
+	cur, nbit := r.BitState()
+	if cur>>(64-4) != 0b1011 {
+		t.Fatalf("top nibble = %b", cur>>(64-4))
+	}
+	cur <<= 4
+	nbit -= 4
+	r.SetBitState(cur, nbit)
+	if got, err := r.ReadBits(16); err != nil || got != 0xDEAD {
+		t.Errorf("after SetBitState: %x, %v", got, err)
+	}
+	if got, err := r.ReadBits(6); err != nil || got != 0x3F {
+		t.Errorf("tail: %x, %v", got, err)
+	}
+}
+
 func TestWriterReset(t *testing.T) {
 	w := &Writer{}
 	w.WriteBits(0xFFFF, 16)

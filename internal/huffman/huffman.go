@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/mdz/mdz/internal/bitstream"
@@ -325,10 +326,17 @@ const maxSubEntries = 1 << 17
 // second-level subtable: index is the base offset into Decoder.sub and sub
 // the subtable's width in bits. len == 0 && sub == 0 marks a prefix with no
 // table coverage (invalid, or a long code left to the slow path).
+//
+// Leaves additionally cache the symbol's low byte (symb) and whether the
+// full symbol exceeds 0..255 (wide != 0), filling the struct's two padding
+// bytes; the byte-oriented decode loop reads a symbol with a single table
+// load instead of a dependent symbols[index] chase plus range compare.
 type lutEntry struct {
 	index int32
 	len   uint8
 	sub   uint8
+	symb  uint8
+	wide  uint8
 }
 
 // Decoder rebuilds a canonical code from a serialized table and decodes
@@ -378,29 +386,66 @@ func ReadTable(br *bitstream.ByteReader) (*Decoder, error) {
 
 // NewDecoder builds a Decoder directly from a symbol→length map.
 func NewDecoder(lengths map[int]uint8) (*Decoder, error) {
-	if len(lengths) == 0 {
-		return &Decoder{}, nil
+	d := &Decoder{}
+	if err := d.init(lengths, nil); err != nil {
+		return nil, err
 	}
-	type sl struct {
-		sym int
-		l   uint8
+	return d, nil
+}
+
+// symLen is a (symbol, code length) pair, the unit of canonical table
+// construction.
+type symLen struct {
+	sym int
+	l   uint8
+}
+
+// init (re)builds the decoder from a symbol→length map. When sc is non-nil
+// its scratch buffers are reused, so a pooled Decoder rebuilds with no
+// steady-state allocations; the resulting tables are identical either way.
+func (d *Decoder) init(lengths map[int]uint8, sc *DecodeScratch) error {
+	var list []symLen
+	if sc != nil {
+		list = sc.list[:0]
+	} else {
+		list = make([]symLen, 0, len(lengths))
 	}
-	list := make([]sl, 0, len(lengths))
 	for s, l := range lengths {
-		if l == 0 || l > MaxCodeLen {
-			return nil, ErrCorrupt
-		}
-		list = append(list, sl{s, l})
+		list = append(list, symLen{s, l})
 	}
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].l != list[j].l {
-			return list[i].l < list[j].l
+	if sc != nil {
+		sc.list = list
+	}
+	// (l, sym) is a strict total order, so any comparison sort yields the
+	// same sequence the historical sort.Slice produced.
+	slices.SortFunc(list, func(a, b symLen) int {
+		if a.l != b.l {
+			return int(a.l) - int(b.l)
 		}
-		return list[i].sym < list[j].sym
+		return a.sym - b.sym
 	})
-	d := &Decoder{symbols: make([]int, len(list))}
-	for i, it := range list {
-		d.symbols[i] = it.sym
+	return d.initSorted(list, sc)
+}
+
+// initSorted (re)builds the decoder from a list of distinct (symbol, length)
+// pairs already in ascending (length, symbol) order — the canonical
+// assignment order. Callers must guarantee both properties; init sorts an
+// arbitrary map into it, and the table parser's counting sort preserves it.
+func (d *Decoder) initSorted(list []symLen, sc *DecodeScratch) error {
+	symbols, lut, sub := d.symbols[:0], d.lut, d.sub
+	*d = Decoder{symbols: symbols, lut: lut, sub: sub}
+	if len(list) == 0 {
+		// Stale lut/sub buffers (pooled reuse) are never read: every decode
+		// entry point checks len(d.symbols) first.
+		return nil
+	}
+	for _, it := range list {
+		if it.l == 0 || it.l > MaxCodeLen {
+			return ErrCorrupt
+		}
+	}
+	for _, it := range list {
+		d.symbols = append(d.symbols, it.sym)
 		d.count[it.l]++
 		if it.l > d.maxLen {
 			d.maxLen = it.l
@@ -414,12 +459,12 @@ func NewDecoder(lengths map[int]uint8) (*Decoder, error) {
 		c += uint64(d.count[l])
 		idx += d.count[l]
 		if l < 64 && c > (1<<l) {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
 		c <<= 1
 	}
-	d.buildLUT()
-	return d, nil
+	d.buildLUT(sc)
+	return nil
 }
 
 // buildLUT fills the two-level decode table. Level one: every lutBits-wide
@@ -427,11 +472,16 @@ func NewDecoder(lengths map[int]uint8) (*Decoder, error) {
 // directly to its symbol. Level two: each prefix shared by longer codes
 // gets a subtable sized for its longest code (capped at subMaxBits and the
 // global maxSubEntries budget); codes past the caps keep len==0 entries and
-// decode via the canonical bitwise walk.
-func (d *Decoder) buildLUT() {
-	d.lut = make([]lutEntry, 1<<lutBits)
+// decode via the canonical bitwise walk. A non-nil sc contributes reusable
+// backing arrays for the tables.
+func (d *Decoder) buildLUT(sc *DecodeScratch) {
+	if cap(d.lut) >= 1<<lutBits {
+		d.lut = d.lut[:1<<lutBits]
+	} else {
+		d.lut = make([]lutEntry, 1<<lutBits)
+	}
 	for i := range d.lut {
-		d.lut[i].index = -1
+		d.lut[i] = lutEntry{index: -1}
 	}
 	maxL := d.maxLen
 	if maxL > lutBits {
@@ -441,19 +491,34 @@ func (d *Decoder) buildLUT() {
 		for k := 0; k < d.count[l]; k++ {
 			code := d.firstCode[l] + uint64(k)
 			symIdx := int32(d.firstIndex[l] + k)
+			sym := d.symbols[symIdx]
+			e := lutEntry{index: symIdx, len: l, symb: uint8(sym)}
+			if uint(sym) > 255 {
+				e.wide = 1
+			}
 			base := code << (lutBits - uint(l))
 			span := uint64(1) << (lutBits - uint(l))
 			for s := uint64(0); s < span; s++ {
-				d.lut[base+s] = lutEntry{index: symIdx, len: l}
+				d.lut[base+s] = e
 			}
 		}
 	}
 	if d.maxLen <= lutBits {
+		d.sub = d.sub[:0]
 		return
 	}
 	// Width (bits beyond the root prefix) each prefix's subtable needs to
 	// cover its longest code.
-	ext := make([]uint8, 1<<lutBits)
+	var ext []uint8
+	if sc != nil && cap(sc.ext) >= 1<<lutBits {
+		ext = sc.ext[:1<<lutBits]
+		clear(ext)
+	} else {
+		ext = make([]uint8, 1<<lutBits)
+		if sc != nil {
+			sc.ext = ext
+		}
+	}
 	for l := lutBits + 1; l <= int(d.maxLen); l++ {
 		for k := 0; k < d.count[l]; k++ {
 			code := d.firstCode[l] + uint64(k)
@@ -477,9 +542,13 @@ func (d *Decoder) buildLUT() {
 		d.lut[p] = lutEntry{index: int32(total), sub: w}
 		total += 1 << w
 	}
-	d.sub = make([]lutEntry, total)
+	if cap(d.sub) >= total {
+		d.sub = d.sub[:total]
+	} else {
+		d.sub = make([]lutEntry, total)
+	}
 	for i := range d.sub {
-		d.sub[i].index = -1
+		d.sub[i] = lutEntry{index: -1}
 	}
 	for l := lutBits + 1; l <= int(d.maxLen); l++ {
 		for k := 0; k < d.count[l]; k++ {
@@ -492,8 +561,13 @@ func (d *Decoder) buildLUT() {
 			}
 			rem := uint(node.sub) - extBits
 			base := uint64(node.index) + (code&((1<<extBits)-1))<<rem
+			sym := d.symbols[symIdx]
+			e := lutEntry{index: symIdx, len: uint8(l), symb: uint8(sym)}
+			if uint(sym) > 255 {
+				e.wide = 1
+			}
 			for s := uint64(0); s < 1<<rem; s++ {
-				d.sub[base+s] = lutEntry{index: symIdx, len: uint8(l)}
+				d.sub[base+s] = e
 			}
 		}
 	}

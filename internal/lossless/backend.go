@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // ErrCorrupt is returned when a compressed stream is malformed.
@@ -96,10 +97,35 @@ func (f Flate) level() int {
 	return f.Level
 }
 
+// flatePools caches one flate.Writer pool per compression level (index =
+// level - flate.HuffmanOnly, the smallest valid level): NewWriter builds
+// ~1 MiB of match-finder state per call, which dwarfs the actual DEFLATE
+// work on pipeline-sized payloads, while Reset reuses it for free.
+var flatePools [flate.BestCompression - flate.HuffmanOnly + 1]sync.Pool
+
+func flateWriter(buf *bytes.Buffer, level int) (*flate.Writer, error) {
+	idx := level - flate.HuffmanOnly
+	if idx < 0 || idx >= len(flatePools) {
+		return flate.NewWriter(buf, level) // out of range: let flate reject it
+	}
+	if w, _ := flatePools[idx].Get().(*flate.Writer); w != nil {
+		w.Reset(buf)
+		return w, nil
+	}
+	return flate.NewWriter(buf, level)
+}
+
+func putFlateWriter(w *flate.Writer, level int) {
+	if idx := level - flate.HuffmanOnly; idx >= 0 && idx < len(flatePools) {
+		flatePools[idx].Put(w)
+	}
+}
+
 // Compress implements Backend.
 func (f Flate) Compress(src []byte) ([]byte, error) {
 	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, f.level())
+	level := f.level()
+	w, err := flateWriter(&buf, level)
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +135,7 @@ func (f Flate) Compress(src []byte) ([]byte, error) {
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
+	putFlateWriter(w, level)
 	return buf.Bytes(), nil
 }
 
@@ -129,16 +156,26 @@ type Zlib struct{}
 // Name implements Backend.
 func (Zlib) Name() string { return "zlib" }
 
+// zlibPool caches zlib.Writers (default level) across Compress calls; like
+// flate, construction cost exceeds the compression work on small payloads.
+var zlibPool sync.Pool
+
 // Compress implements Backend.
 func (Zlib) Compress(src []byte) ([]byte, error) {
 	var buf bytes.Buffer
-	w := zlib.NewWriter(&buf)
+	w, _ := zlibPool.Get().(*zlib.Writer)
+	if w != nil {
+		w.Reset(&buf)
+	} else {
+		w = zlib.NewWriter(&buf)
+	}
 	if _, err := w.Write(src); err != nil {
 		return nil, err
 	}
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
+	zlibPool.Put(w)
 	return buf.Bytes(), nil
 }
 

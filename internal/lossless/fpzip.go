@@ -1,6 +1,7 @@
 package lossless
 
 import (
+	"errors"
 	"math"
 
 	"github.com/mdz/mdz/internal/bitstream"
@@ -49,7 +50,7 @@ func (FPZip) CompressFloats(src []float64) ([]byte, error) {
 		prev = m
 	}
 	out := bitstream.AppendUvarint(nil, uint64(len(src)))
-	return huffman.EncodeInts(out, bytesToInts(resid))
+	return huffman.EncodeBytes(out, resid)
 }
 
 // DecompressFloats implements FloatCompressor.
@@ -62,12 +63,11 @@ func (FPZip) DecompressFloats(src []byte) ([]float64, error) {
 	if n > 1<<32 {
 		return nil, ErrCorrupt
 	}
-	residInts, err := huffman.DecodeInts(br)
+	resid, err := huffman.DecodeBytes(br)
 	if err != nil {
-		return nil, err
-	}
-	resid, err := intsToBytes(residInts)
-	if err != nil {
+		if errors.Is(err, huffman.ErrByteRange) {
+			err = ErrCorrupt
+		}
 		return nil, err
 	}
 	rr := bitstream.NewByteReader(resid)

@@ -1,0 +1,185 @@
+package lossless
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLZSteadyStateAllocs pins the pooling contract of the LZ hot path: with
+// warmed pools and a reused destination of sufficient capacity, the Append
+// variants allocate nothing at all, and Compress allocates only its result.
+func TestLZSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	in := huffLikeBytes(1<<16, 11)
+	z := LZ{}
+	comp, err := z.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := make([]byte, 0, 2*len(in))
+	// Warm every pool (match finder, Huffman scratch, decode scratch).
+	for i := 0; i < 3; i++ {
+		if dst, err = z.AppendCompress(dst[:0], in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := testing.AllocsPerRun(50, func() {
+		dst, err = z.AppendCompress(dst[:0], in)
+	}); err != nil || got != 0 {
+		t.Errorf("AppendCompress: %v allocs/op (err %v), want 0", got, err)
+	}
+
+	out := make([]byte, 0, len(in)+64)
+	for i := 0; i < 3; i++ {
+		if out, err = z.AppendDecompress(out[:0], comp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := testing.AllocsPerRun(50, func() {
+		out, err = z.AppendDecompress(out[:0], comp)
+	}); err != nil || got != 0 {
+		t.Errorf("AppendDecompress: %v allocs/op (err %v), want 0", got, err)
+	}
+	if !bytes.Equal(out, in) {
+		t.Fatal("round trip mismatch")
+	}
+
+	// Compress proper may allocate only the returned buffer (one make).
+	if got := testing.AllocsPerRun(50, func() {
+		_, err = z.Compress(in)
+	}); err != nil || got > 1 {
+		t.Errorf("Compress: %v allocs/op (err %v), want <= 1", got, err)
+	}
+}
+
+// TestLZDecompressLargeBlockAllocs is the regression test for the capHint
+// sizing in AppendDecompress: a multi-megabyte block must reserve its output
+// up front from the declared size instead of growing through a chain of
+// doubling re-copies.
+func TestLZDecompressLargeBlockAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	in := huffLikeBytes(4<<20, 7)
+	z := LZ{}
+	comp, err := z.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := z.Decompress(comp); err != nil { // warm pools
+		t.Fatal(err)
+	}
+	var out []byte
+	got := testing.AllocsPerRun(5, func() {
+		out, err = z.Decompress(comp)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, in) {
+		t.Fatal("round trip mismatch")
+	}
+	// One alloc for the output; a couple more tolerated for pool churn.
+	if got > 3 {
+		t.Errorf("Decompress of %d bytes: %v allocs/op, want <= 3 (output reserved up front)", len(in), got)
+	}
+}
+
+// naiveAppendMatch is the historical byte-at-a-time overlap copy.
+func naiveAppendMatch(out []byte, d, m int) []byte {
+	for j := 0; j < m; j++ {
+		out = append(out, out[len(out)-d])
+	}
+	return out
+}
+
+// TestAppendMatchExhaustive checks the doubling-chunk overlap copy against
+// the byte-at-a-time reference over every small (distance, length) pair —
+// the whole region where the periodic-extension logic has edge cases.
+func TestAppendMatchExhaustive(t *testing.T) {
+	for d := 1; d <= 16; d++ {
+		for m := 1; m <= 64; m++ {
+			seed := make([]byte, d+3)
+			for i := range seed {
+				seed[i] = byte(i*37 + d*5 + 1)
+			}
+			got := appendMatch(append([]byte(nil), seed...), d, m)
+			want := naiveAppendMatch(append([]byte(nil), seed...), d, m)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("d=%d m=%d: got %x want %x", d, m, got, want)
+			}
+		}
+	}
+}
+
+// TestPooledWritersRepeatedUse exercises the flate/zlib writer pools: reused
+// writers must keep producing streams that decompress to the input, and the
+// pools must be safe under concurrent Compress calls.
+func TestPooledWritersRepeatedUse(t *testing.T) {
+	for _, b := range []Backend{Flate{Level: 6}, Flate{Level: 9, Label: "brotli*"}, Zlib{}} {
+		t.Run(b.Name(), func(t *testing.T) {
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 8; i++ {
+						in := huffLikeBytes(1<<12+g*100+i, int64(g*100+i))
+						comp, err := b.Compress(in)
+						if err != nil {
+							t.Errorf("compress: %v", err)
+							return
+						}
+						out, err := b.Decompress(comp)
+						if err != nil {
+							t.Errorf("decompress: %v", err)
+							return
+						}
+						if !bytes.Equal(out, in) {
+							t.Error("round trip mismatch")
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// The pooled-writer benchmarks: allocs/op is the headline number (an
+// unpooled flate.NewWriter builds ~1 MiB of match-finder state per call).
+func BenchmarkFlateCompress(b *testing.B) {
+	for _, level := range []int{6, 9} {
+		b.Run(fmt.Sprintf("level%d", level), func(b *testing.B) {
+			in := huffLikeBytes(1<<16, 3)
+			f := Flate{Level: level}
+			b.SetBytes(int64(len(in)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Compress(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkZlibCompress(b *testing.B) {
+	in := huffLikeBytes(1<<16, 3)
+	z := Zlib{}
+	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := z.Compress(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

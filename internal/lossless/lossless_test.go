@@ -279,3 +279,85 @@ func BenchmarkFPCCompress(b *testing.B) {
 		}
 	}
 }
+
+// huffLikeBytes synthesizes bytes statistically similar to the pipeline's
+// lossless-stage input: the Huffman-packed quantization codes of an MD run
+// (high-entropy bit packing with residual structure).
+func huffLikeBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	x := 0.0
+	for i := range out {
+		x += rng.NormFloat64()
+		b := byte(int(x) & 0x3F)
+		if rng.Float64() < 0.3 {
+			b = byte(rng.Intn(256))
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func BenchmarkLZDecompressMDBytes(b *testing.B) {
+	in := FloatsToBytes(mdLikeFloats(1<<14, 3))
+	z := LZ{}
+	comp, err := z.Compress(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := z.Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLZCompressHuffLike(b *testing.B) {
+	in := huffLikeBytes(1<<17, 3)
+	b.SetBytes(int64(len(in)))
+	z := LZ{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := z.Compress(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLZDecompressHuffLike(b *testing.B) {
+	in := huffLikeBytes(1<<17, 3)
+	z := LZ{}
+	comp, err := z.Compress(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := z.Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLZCompressSkewed(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	in := make([]byte, 1<<17)
+	for i := range in {
+		if rng.Float64() < 0.8 {
+			in[i] = 0
+		} else {
+			in[i] = byte(rng.Intn(16))
+		}
+	}
+	b.SetBytes(int64(len(in)))
+	z := LZ{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := z.Compress(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,11 @@
 package lossless
 
 import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+	"sync"
+
 	"github.com/mdz/mdz/internal/bitstream"
 	"github.com/mdz/mdz/internal/huffman"
 )
@@ -13,6 +18,14 @@ import (
 // Format: magic-free; uvarint original size, then two length-prefixed
 // Huffman sections — literal bytes, and a varint-packed sequence stream of
 // (literalRun, matchLen, distance) triples.
+//
+// All working state — match-finder tables, section buffers, Huffman scratch
+// — is sync.Pool-backed, so steady-state Compress/Decompress cost no
+// allocations beyond the returned buffer (and none at all through the
+// Append* variants with a reused destination). The compressed bytes are
+// decision-identical to the historical allocating implementation: the same
+// candidates are visited in the same order with the same tie-breaks, which
+// the differential fuzzer in lz_ref_test.go pins against the kept original.
 type LZ struct {
 	// MaxChain bounds the match-finder chain walk; 0 means DefaultMaxChain.
 	MaxChain int
@@ -31,42 +44,93 @@ const (
 // Name implements Backend.
 func (LZ) Name() string { return "lz" }
 
-func lzHash(b []byte) uint32 {
-	// 4-byte FNV-style multiplicative hash.
-	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+func lzHash(v uint32) uint32 {
+	// 4-byte FNV-style multiplicative hash over the little-endian word.
 	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+// lzEncState is the pooled per-call state of Compress. head and prev store
+// positions +1 so the zero value means "empty" and reuse needs only a
+// memclr of head (prev entries are written before they are reachable
+// through a chain, so prev is never cleared).
+type lzEncState struct {
+	head     []int32
+	prev     []int32
+	literals []byte
+	seq      []byte
+}
+
+var lzEncPool = sync.Pool{
+	New: func() any { return &lzEncState{head: make([]int32, lzHashSize)} },
 }
 
 // Compress implements Backend.
 func (z LZ) Compress(src []byte) ([]byte, error) {
+	return z.AppendCompress(nil, src)
+}
+
+// AppendCompress appends the compressed form of src to dst and returns the
+// extended slice. With a reused dst of sufficient capacity the steady-state
+// allocation count is zero.
+func (z LZ) AppendCompress(dst, src []byte) ([]byte, error) {
 	maxChain := z.MaxChain
 	if maxChain <= 0 {
 		maxChain = DefaultMaxChain
 	}
-	var literals []byte
-	var seq []byte // varint triples (litRun, matchLen, dist)
+	st := lzEncPool.Get().(*lzEncState)
+	defer lzEncPool.Put(st)
+	literals := st.literals[:0]
+	seq := st.seq[:0]
 	if len(src) >= lzMinMatch {
-		head := make([]int32, lzHashSize)
-		for i := range head {
-			head[i] = -1
+		head := st.head
+		clear(head)
+		prev := st.prev
+		if cap(prev) < len(src) {
+			prev = make([]int32, len(src))
+			st.prev = prev
+		} else {
+			prev = prev[:len(src)]
 		}
-		prev := make([]int32, len(src))
 		litStart := 0
 		i := 0
 		for i+lzMinMatch <= len(src) {
-			h := lzHash(src[i:])
+			cur := binary.LittleEndian.Uint32(src[i:])
+			h := lzHash(cur)
 			bestLen, bestDist := 0, 0
-			cand := head[h]
-			for depth := 0; cand >= 0 && depth < maxChain; depth++ {
-				d := i - int(cand)
-				if d > lzWindow {
-					break
+			// Chains run new-to-old, so the first candidate past the window
+			// ends the walk; folding that bound into the loop condition
+			// (empty slots decode to -1, below any valid bound) saves a
+			// branch per candidate.
+			lo := i - lzWindow
+			if lo < 0 {
+				lo = 0
+			}
+			// tail4 caches the four bytes of src[i:] ending at offset
+			// bestLen; a candidate that beats bestLen must reproduce them,
+			// so one word compare filters the chain before the full
+			// extension walk. Refreshed only when bestLen grows.
+			var tail4 uint32
+			cand := int(head[h]) - 1
+			for depth := 0; cand >= lo && depth < maxChain; depth++ {
+				// Early rejects that cannot change the emitted triple: a
+				// candidate whose first four bytes differ cannot reach
+				// lzMinMatch (and sub-minimum lengths never decide the
+				// result — the first candidate to attain the maximum wins
+				// either way), and once a best exists, a longer match must
+				// agree with src[i:] on the word ending at offset bestLen.
+				if binary.LittleEndian.Uint32(src[cand:]) == cur &&
+					(bestLen == 0 || (i+bestLen < len(src) &&
+						binary.LittleEndian.Uint32(src[cand+bestLen-3:]) == tail4)) {
+					l := matchLen(src, cand, i)
+					if l > bestLen {
+						bestLen, bestDist = l, i-cand
+						if i+bestLen >= len(src) {
+							break // provably maximal: no candidate can beat it
+						}
+						tail4 = binary.LittleEndian.Uint32(src[i+bestLen-3:])
+					}
 				}
-				l := matchLen(src, int(cand), i)
-				if l > bestLen {
-					bestLen, bestDist = l, d
-				}
-				cand = prev[cand]
+				cand = int(prev[cand]) - 1
 			}
 			if bestLen >= lzMinMatch {
 				litRun := i - litStart
@@ -81,16 +145,20 @@ func (z LZ) Compress(src []byte) ([]byte, error) {
 				if bestLen > 64 {
 					step = 4
 				}
-				for ; i+lzMinMatch <= len(src) && i < end; i += step {
-					hh := lzHash(src[i:])
+				stop := end
+				if m := len(src) - lzMinMatch + 1; stop > m {
+					stop = m
+				}
+				for ; i < stop; i += step {
+					hh := lzHash(binary.LittleEndian.Uint32(src[i:]))
 					prev[i] = head[hh]
-					head[hh] = int32(i)
+					head[hh] = int32(i) + 1
 				}
 				i = end
 				litStart = i
 			} else {
 				prev[i] = head[h]
-				head[h] = int32(i)
+				head[h] = int32(i) + 1
 				i++
 			}
 		}
@@ -108,50 +176,70 @@ func (z LZ) Compress(src []byte) ([]byte, error) {
 		seq = bitstream.AppendUvarint(seq, 0)
 		seq = bitstream.AppendUvarint(seq, 0)
 	}
+	st.literals, st.seq = literals, seq
 
-	out := bitstream.AppendUvarint(nil, uint64(len(src)))
+	// Reserve the output in one step: each Huffman section is bounded by
+	// MaxCodeLen/8 bytes per input byte plus a ~0.5 KiB table, so this hint
+	// covers all but degenerate cases (append still grows correctly if the
+	// bound is ever exceeded), replacing a chain of doubling re-copies.
+	if hint := len(literals) + len(seq) + (len(literals)+len(seq))>>1 + 1200; cap(dst)-len(dst) < hint {
+		grown := make([]byte, len(dst), len(dst)+hint)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := bitstream.AppendUvarint(dst, uint64(len(src)))
 	var err error
-	out, err = huffman.EncodeInts(out, bytesToInts(literals))
+	out, err = huffman.EncodeBytes(out, literals)
 	if err != nil {
 		return nil, err
 	}
-	out, err = huffman.EncodeInts(out, bytesToInts(seq))
+	out, err = huffman.EncodeBytes(out, seq)
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
+// matchLen reports how far the suffixes at a and b (a < b) match, extending
+// eight bytes per step; the result is identical to the historical byte loop.
 func matchLen(src []byte, a, b int) int {
 	n := 0
+	for b+n+8 <= len(src) {
+		x := binary.LittleEndian.Uint64(src[a+n:]) ^ binary.LittleEndian.Uint64(src[b+n:])
+		if x != 0 {
+			return n + bits.TrailingZeros64(x)>>3
+		}
+		n += 8
+	}
 	for b+n < len(src) && src[a+n] == src[b+n] {
 		n++
 	}
 	return n
 }
 
-func bytesToInts(b []byte) []int {
-	out := make([]int, len(b))
-	for i, v := range b {
-		out[i] = int(v)
-	}
-	return out
+// lzDecState is the pooled per-call state of Decompress.
+type lzDecState struct {
+	hs       huffman.DecodeScratch
+	br       bitstream.ByteReader
+	literals []byte
+	seq      []byte
 }
 
-func intsToBytes(v []int) ([]byte, error) {
-	out := make([]byte, len(v))
-	for i, x := range v {
-		if x < 0 || x > 255 {
-			return nil, ErrCorrupt
-		}
-		out[i] = byte(x)
-	}
-	return out, nil
-}
+var lzDecPool = sync.Pool{New: func() any { return new(lzDecState) }}
 
 // Decompress implements Backend.
 func (z LZ) Decompress(src []byte) ([]byte, error) {
-	br := bitstream.NewByteReader(src)
+	return z.AppendDecompress(nil, src)
+}
+
+// AppendDecompress appends the decompressed form of src to dst and returns
+// the extended slice. With a reused dst of sufficient capacity the
+// steady-state allocation count is zero.
+func (z LZ) AppendDecompress(dst, src []byte) ([]byte, error) {
+	st := lzDecPool.Get().(*lzDecState)
+	defer lzDecPool.Put(st)
+	br := &st.br
+	br.Reset(src)
 	origSize, err := br.ReadUvarint()
 	if err != nil {
 		return nil, err
@@ -159,67 +247,110 @@ func (z LZ) Decompress(src []byte) ([]byte, error) {
 	if origSize > 1<<34 {
 		return nil, ErrCorrupt
 	}
-	litInts, err := huffman.DecodeInts(br)
+	literals, err := st.hs.DecodeBytes(br, st.literals[:0])
 	if err != nil {
+		if errors.Is(err, huffman.ErrByteRange) {
+			err = ErrCorrupt
+		}
 		return nil, err
 	}
-	literals, err := intsToBytes(litInts)
+	st.literals = literals
+	seq, err := st.hs.DecodeBytes(br, st.seq[:0])
 	if err != nil {
+		if errors.Is(err, huffman.ErrByteRange) {
+			err = ErrCorrupt
+		}
 		return nil, err
 	}
-	seqInts, err := huffman.DecodeInts(br)
-	if err != nil {
-		return nil, err
-	}
-	seq, err := intsToBytes(seqInts)
-	if err != nil {
-		return nil, err
-	}
+	st.seq = seq
 
-	// Trust origSize only as an upper bound enforced below, not as an
-	// allocation hint: a forged value must not trigger a giant make.
+	// Trust origSize only as an upper bound enforced below, not as a blind
+	// allocation hint: for plausible expansion ratios reserve the declared
+	// size up front (killing the append-regrowth re-copies large blocks used
+	// to pay), but cap what a forged header can make us allocate before any
+	// payload has justified it.
+	base := len(dst)
 	capHint := origSize
-	if capHint > 1<<20 {
-		capHint = 1 << 20
+	if limit := uint64(1<<20) + 32*uint64(len(src)); capHint > limit {
+		capHint = limit
 	}
-	out := make([]byte, 0, capHint)
-	sr := bitstream.NewByteReader(seq)
+	out := dst
+	if free := uint64(cap(out) - len(out)); free < capHint {
+		grown := make([]byte, len(out), uint64(len(out))+capHint)
+		copy(grown, out)
+		out = grown
+	}
 	litPos := 0
-	for sr.Len() > 0 {
-		litRun, err := sr.ReadUvarint()
-		if err != nil {
-			return nil, err
+	pos := 0
+	for pos < len(seq) {
+		litRun, k := binary.Uvarint(seq[pos:])
+		if k <= 0 {
+			return nil, bitstream.ErrShortStream
 		}
-		mLen, err := sr.ReadUvarint()
-		if err != nil {
-			return nil, err
+		pos += k
+		mLen, k := binary.Uvarint(seq[pos:])
+		if k <= 0 {
+			return nil, bitstream.ErrShortStream
 		}
-		dist, err := sr.ReadUvarint()
-		if err != nil {
-			return nil, err
+		pos += k
+		dist, k := binary.Uvarint(seq[pos:])
+		if k <= 0 {
+			return nil, bitstream.ErrShortStream
+		}
+		pos += k
+		// Reject runs past the declared size before any int conversion: a
+		// crafted >=2^63 litRun/mLen pair could overflow the additive guard
+		// below (the historical decoder reached a slice-bounds panic on such
+		// streams; every non-panicking outcome was ErrCorrupt, which this
+		// guard preserves).
+		if litRun > origSize || mLen > origSize {
+			return nil, ErrCorrupt
 		}
 		if litPos+int(litRun) > len(literals) {
 			return nil, ErrCorrupt
 		}
-		if uint64(len(out))+litRun+mLen > origSize {
+		if uint64(len(out)-base)+litRun+mLen > origSize {
 			return nil, ErrCorrupt
 		}
 		out = append(out, literals[litPos:litPos+int(litRun)]...)
 		litPos += int(litRun)
 		if mLen > 0 {
 			d := int(dist)
-			if d <= 0 || d > len(out) {
+			if d <= 0 || d > len(out)-base {
 				return nil, ErrCorrupt
 			}
-			// Byte-by-byte copy: matches may overlap their own output.
-			start := len(out) - d
-			for k := 0; k < int(mLen); k++ {
-				out = append(out, out[start+k])
-			}
+			out = appendMatch(out, d, int(mLen))
 		}
 	}
-	if uint64(len(out)) != origSize {
+	if uint64(len(out)-base) != origSize {
 		return nil, ErrCorrupt
 	}
 	return out, nil
+}
+
+// appendMatch appends m bytes copied from distance d back in out.
+// Non-overlapping matches (d >= m) are a single copy; overlapping ones —
+// where the historical loop appended one byte at a time — extend the
+// periodic run by doubling chunks, so an m-byte match costs O(log(m/d))
+// copies instead of m appends.
+func appendMatch(out []byte, d, m int) []byte {
+	n := len(out)
+	start := n - d
+	if d >= m {
+		return append(out, out[start:start+m]...)
+	}
+	end := n + m
+	for len(out) < end {
+		// out[start:] is periodic with period d, so copying any run of q
+		// bytes (q a multiple of d) from the tail stays aligned with the
+		// pattern; q grows with the written run, doubling each iteration.
+		q := len(out) - start
+		q -= q % d
+		chunk := q
+		if chunk > end-len(out) {
+			chunk = end - len(out)
+		}
+		out = append(out, out[len(out)-q:len(out)-q+chunk]...)
+	}
+	return out
 }

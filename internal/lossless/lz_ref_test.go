@@ -1,0 +1,323 @@
+package lossless
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/mdz/mdz/internal/bitstream"
+	"github.com/mdz/mdz/internal/huffman"
+)
+
+// This file keeps the historical allocating LZ implementation verbatim as
+// the reference for differential testing: the reworked coder must produce
+// byte-identical compressed output and byte/error-identical decompression.
+
+func bytesToInts(b []byte) []int {
+	out := make([]int, len(b))
+	for i, v := range b {
+		out[i] = int(v)
+	}
+	return out
+}
+
+func intsToBytes(v []int) ([]byte, error) {
+	out := make([]byte, len(v))
+	for i, x := range v {
+		if x < 0 || x > 255 {
+			return nil, ErrCorrupt
+		}
+		out[i] = byte(x)
+	}
+	return out, nil
+}
+
+func lzRefMatchLen(src []byte, a, b int) int {
+	n := 0
+	for b+n < len(src) && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+func lzRefHash(b []byte) uint32 {
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+// lzRefCompress is the historical LZ.Compress.
+func lzRefCompress(z LZ, src []byte) ([]byte, error) {
+	maxChain := z.MaxChain
+	if maxChain <= 0 {
+		maxChain = DefaultMaxChain
+	}
+	var literals []byte
+	var seq []byte
+	if len(src) >= lzMinMatch {
+		head := make([]int32, lzHashSize)
+		for i := range head {
+			head[i] = -1
+		}
+		prev := make([]int32, len(src))
+		litStart := 0
+		i := 0
+		for i+lzMinMatch <= len(src) {
+			h := lzRefHash(src[i:])
+			bestLen, bestDist := 0, 0
+			cand := head[h]
+			for depth := 0; cand >= 0 && depth < maxChain; depth++ {
+				d := i - int(cand)
+				if d > lzWindow {
+					break
+				}
+				l := lzRefMatchLen(src, int(cand), i)
+				if l > bestLen {
+					bestLen, bestDist = l, d
+				}
+				cand = prev[cand]
+			}
+			if bestLen >= lzMinMatch {
+				litRun := i - litStart
+				literals = append(literals, src[litStart:i]...)
+				seq = bitstream.AppendUvarint(seq, uint64(litRun))
+				seq = bitstream.AppendUvarint(seq, uint64(bestLen))
+				seq = bitstream.AppendUvarint(seq, uint64(bestDist))
+				end := i + bestLen
+				step := 1
+				if bestLen > 64 {
+					step = 4
+				}
+				for ; i+lzMinMatch <= len(src) && i < end; i += step {
+					hh := lzRefHash(src[i:])
+					prev[i] = head[hh]
+					head[hh] = int32(i)
+				}
+				i = end
+				litStart = i
+			} else {
+				prev[i] = head[h]
+				head[h] = int32(i)
+				i++
+			}
+		}
+		if litStart < len(src) {
+			run := len(src) - litStart
+			literals = append(literals, src[litStart:]...)
+			seq = bitstream.AppendUvarint(seq, uint64(run))
+			seq = bitstream.AppendUvarint(seq, 0)
+			seq = bitstream.AppendUvarint(seq, 0)
+		}
+	} else if len(src) > 0 {
+		literals = append(literals, src...)
+		seq = bitstream.AppendUvarint(seq, uint64(len(src)))
+		seq = bitstream.AppendUvarint(seq, 0)
+		seq = bitstream.AppendUvarint(seq, 0)
+	}
+
+	out := bitstream.AppendUvarint(nil, uint64(len(src)))
+	var err error
+	out, err = huffman.EncodeInts(out, bytesToInts(literals))
+	if err != nil {
+		return nil, err
+	}
+	out, err = huffman.EncodeInts(out, bytesToInts(seq))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// lzRefDecompress is the historical LZ.Decompress. On certain crafted
+// streams (>=2^63 run lengths slipping past the additive overflow) it
+// panics on a slice bound; callers recover and treat that as "must error".
+func lzRefDecompress(src []byte) ([]byte, error) {
+	br := bitstream.NewByteReader(src)
+	origSize, err := br.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if origSize > 1<<34 {
+		return nil, ErrCorrupt
+	}
+	litInts, err := huffman.DecodeInts(br)
+	if err != nil {
+		return nil, err
+	}
+	literals, err := intsToBytes(litInts)
+	if err != nil {
+		return nil, err
+	}
+	seqInts, err := huffman.DecodeInts(br)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := intsToBytes(seqInts)
+	if err != nil {
+		return nil, err
+	}
+
+	capHint := origSize
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	out := make([]byte, 0, capHint)
+	sr := bitstream.NewByteReader(seq)
+	litPos := 0
+	for sr.Len() > 0 {
+		litRun, err := sr.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		mLen, err := sr.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		dist, err := sr.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if litPos+int(litRun) > len(literals) {
+			return nil, ErrCorrupt
+		}
+		if uint64(len(out))+litRun+mLen > origSize {
+			return nil, ErrCorrupt
+		}
+		out = append(out, literals[litPos:litPos+int(litRun)]...)
+		litPos += int(litRun)
+		if mLen > 0 {
+			d := int(dist)
+			if d <= 0 || d > len(out) {
+				return nil, ErrCorrupt
+			}
+			start := len(out) - d
+			for k := 0; k < int(mLen); k++ {
+				out = append(out, out[start+k])
+			}
+		}
+	}
+	if uint64(len(out)) != origSize {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// refDecompressRecover runs the historical decoder, converting its known
+// crafted-stream panic into a sentinel.
+var errRefPanic = errors.New("reference decoder panicked")
+
+func refDecompressRecover(src []byte) (out []byte, err error) {
+	defer func() {
+		if recover() != nil {
+			out, err = nil, errRefPanic
+		}
+	}()
+	return lzRefDecompress(src)
+}
+
+// checkLZDifferential asserts old-vs-new equivalence on one input: identical
+// compressed bytes, identical decompressed bytes, identical errors (with the
+// reference panic accepted as "new must error").
+func checkLZDifferential(t *testing.T, z LZ, in []byte) {
+	t.Helper()
+	newC, newErr := z.Compress(in)
+	refC, refErr := lzRefCompress(z, in)
+	if (newErr == nil) != (refErr == nil) {
+		t.Fatalf("compress err: %v (new) vs %v (ref)", newErr, refErr)
+	}
+	if !bytes.Equal(newC, refC) {
+		t.Fatalf("compressed bytes diverge: %d vs %d bytes", len(newC), len(refC))
+	}
+	checkLZDecompressDifferential(t, z, newC)
+}
+
+func checkLZDecompressDifferential(t *testing.T, z LZ, stream []byte) {
+	t.Helper()
+	newOut, newErr := z.Decompress(stream)
+	refOut, refErr := refDecompressRecover(stream)
+	if errors.Is(refErr, errRefPanic) {
+		if newErr == nil {
+			t.Fatalf("reference panicked but new decoder accepted the stream (%d bytes out)", len(newOut))
+		}
+		return
+	}
+	if !errors.Is(newErr, refErr) || !errors.Is(refErr, newErr) {
+		t.Fatalf("decompress err: %v (new) vs %v (ref)", newErr, refErr)
+	}
+	if newErr == nil && !bytes.Equal(newOut, refOut) {
+		t.Fatalf("decompressed bytes diverge: %d vs %d bytes", len(newOut), len(refOut))
+	}
+}
+
+// TestLZDifferentialSeeded is the always-on slice of the differential fuzz:
+// structured inputs across chain depths, plus corrupted streams.
+func TestLZDifferentialSeeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	inputs := [][]byte{
+		nil,
+		{},
+		{1},
+		{1, 2, 3},
+		{1, 2, 3, 4},
+		bytes.Repeat([]byte{7}, 300),
+		bytes.Repeat([]byte("abcd"), 200),
+		bytes.Repeat([]byte("molecular dynamics "), 64),
+		[]byte("abcabcabcXabcabcabc"),
+	}
+	random := make([]byte, 8192)
+	rng.Read(random)
+	inputs = append(inputs, random)
+	skewed := make([]byte, 20000)
+	for i := range skewed {
+		if rng.Float64() < 0.8 {
+			skewed[i] = 0
+		} else {
+			skewed[i] = byte(rng.Intn(16))
+		}
+	}
+	inputs = append(inputs, skewed)
+	// MD-pipeline-like payload: Huffman-coded quantization residuals.
+	inputs = append(inputs, FloatsToBytes(mdLikeFloats(4096, 11)))
+
+	for _, chain := range []int{0, 1, 4, 32, 256} {
+		z := LZ{MaxChain: chain}
+		for i, in := range inputs {
+			t.Run("", func(t *testing.T) {
+				checkLZDifferential(t, z, in)
+			})
+			_ = i
+		}
+	}
+	// Corrupted/truncated streams must fail identically.
+	z := LZ{}
+	comp, _ := z.Compress(bytes.Repeat([]byte("xylophone"), 300))
+	for cut := 0; cut < len(comp); cut += 1 + len(comp)/97 {
+		checkLZDecompressDifferential(t, z, comp[:cut])
+	}
+	for trial := 0; trial < 200; trial++ {
+		mut := append([]byte(nil), comp...)
+		for k := 0; k < 1+trial%4; k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		checkLZDecompressDifferential(t, z, mut)
+	}
+}
+
+// FuzzLZDifferential fuzzes new-vs-old over both directions: arbitrary
+// inputs through Compress (bytes must match exactly, and the result must
+// round-trip), and the same bytes reinterpreted as a compressed stream
+// through Decompress (identical output and identical error behavior).
+func FuzzLZDifferential(f *testing.F) {
+	f.Add([]byte("seed data seed data seed data"), 0)
+	f.Add(bytes.Repeat([]byte{1, 2, 3}, 50), 32)
+	f.Add([]byte{}, 1)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}, 0)
+	f.Fuzz(func(t *testing.T, in []byte, chain int) {
+		if chain < 0 || chain > 512 {
+			chain = 0
+		}
+		z := LZ{MaxChain: chain}
+		checkLZDifferential(t, z, in)
+		checkLZDecompressDifferential(t, z, in)
+	})
+}

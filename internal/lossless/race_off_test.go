@@ -1,0 +1,5 @@
+//go:build !race
+
+package lossless
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package lossless
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// tests are skipped under it (the detector drops sync.Pool items at random
+// and instruments allocations).
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package lossless
 
 import (
+	"errors"
 	"math"
 
 	"github.com/mdz/mdz/internal/bitstream"
@@ -49,7 +50,7 @@ func (ZFP) CompressFloats(src []float64) ([]byte, error) {
 	}
 	out := bitstream.AppendUvarint(nil, uint64(len(src)))
 	out = bitstream.AppendSection(out, flags)
-	return huffman.EncodeInts(out, bytesToInts(body))
+	return huffman.EncodeBytes(out, body)
 }
 
 // DecompressFloats implements FloatCompressor.
@@ -66,12 +67,11 @@ func (ZFP) DecompressFloats(src []byte) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	bodyInts, err := huffman.DecodeInts(br)
+	body, err := huffman.DecodeBytes(br)
 	if err != nil {
-		return nil, err
-	}
-	body, err := intsToBytes(bodyInts)
-	if err != nil {
+		if errors.Is(err, huffman.ErrByteRange) {
+			err = ErrCorrupt
+		}
 		return nil, err
 	}
 	rb := bitstream.NewByteReader(body)

@@ -36,3 +36,15 @@ go test -run '^$' -fuzz '^FuzzCheckpointUnmarshal$' -fuzztime 10s .
 # symbols AND identical error behavior are asserted on every input.
 go test -run '^$' -fuzz '^FuzzReaderDifferential$' -fuzztime 10s ./internal/bitstream
 go test -run '^$' -fuzz '^FuzzDecodeDifferential$' -fuzztime 10s ./internal/huffman
+
+# Differential fuzz of the dictionary-coder hot path: the pooled
+# word-at-a-time LZ against the kept historical implementation (byte AND
+# error identity, both directions), and the byte-oriented Huffman section
+# codec against the generic int path (wire-byte identity).
+go test -run '^$' -fuzz '^FuzzLZDifferential$' -fuzztime 10s ./internal/lossless
+go test -run '^$' -fuzz '^FuzzEncodeBytesEquivalence$' -fuzztime 10s ./internal/huffman
+
+# Soft performance gate: diff a fresh entropy-stage run against the
+# committed report. Throughput deltas print as warnings only — shared-runner
+# noise makes hard wall-clock gates flaky — so this step never fails CI.
+go run ./cmd/mdzbench -entropy -compare BENCH_entropy.json || echo "WARNING: entropy benchmark compare failed"
