@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare bench-lossless
+.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare bench-lossless fuzz-short
 
 all: build
 
@@ -34,6 +34,22 @@ bench-entropy:
 
 bench-compare:
 	$(GO) run ./cmd/mdzbench -entropy -compare BENCH_entropy.json
+
+# Short fuzz pass over every differential and parser fuzzer in the tree.
+# CI invokes this with FUZZTIME=10s; the default is a slightly longer local
+# smoke. Each fuzzer runs alone (-fuzz takes one pattern per package run).
+FUZZTIME ?= 30s
+
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzStreamReader$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointUnmarshal$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzV3Differential$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzReaderDifferential$$' -fuzztime $(FUZZTIME) ./internal/bitstream
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeDifferential$$' -fuzztime $(FUZZTIME) ./internal/huffman
+	$(GO) test -run '^$$' -fuzz '^FuzzEncodeBytesEquivalence$$' -fuzztime $(FUZZTIME) ./internal/huffman
+	$(GO) test -run '^$$' -fuzz '^FuzzDualRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/huffman
+	$(GO) test -run '^$$' -fuzz '^FuzzLZDifferential$$' -fuzztime $(FUZZTIME) ./internal/lossless
+	$(GO) test -run '^$$' -fuzz '^FuzzLZV3RoundTrip$$' -fuzztime $(FUZZTIME) ./internal/lossless
 
 # Dictionary-coder hot path: LZ and byte-Huffman micro-benchmarks (with
 # alloc counts), the pooled flate/zlib writers, and the pipeline-payload

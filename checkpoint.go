@@ -34,14 +34,26 @@ type CheckpointState struct {
 	Batch int
 	// Axes holds the X, Y, Z axis states.
 	Axes [3]AxisState
+	// Format is the wire-format version of the stream the checkpoint
+	// belongs to (0 or 2 for v2, 3 for v3). It selects the payload
+	// encoding of the checkpoint itself: v3 checkpoints pack their
+	// reference snapshots with the v3 LZ backend.
+	Format int
 }
 
-const checkpointVersion = 1
+const (
+	checkpointVersion   = 1
+	checkpointVersionV3 = 2
+)
 
 // checkpointBackend compresses the reference snapshots inside checkpoint
 // payloads. The reference values are quantized reconstructions, so their
-// byte patterns repeat and LZ shrinks them well.
-var checkpointBackend = lossless.LZ{}
+// byte patterns repeat and LZ shrinks them well. v3 checkpoints use the
+// dual-lane v3 backend, matching the rest of the stream.
+var (
+	checkpointBackend   = lossless.LZ{}
+	checkpointBackendV3 = lossless.LZ{V3: true}
+)
 
 // MarshalBinary encodes the checkpoint into the self-contained payload
 // format carried by checkpoint blocks.
@@ -49,7 +61,11 @@ func (st *CheckpointState) MarshalBinary() ([]byte, error) {
 	if st.Batch < 0 {
 		return nil, fmt.Errorf("mdz: negative checkpoint batch index %d", st.Batch)
 	}
-	out := []byte{checkpointVersion}
+	ver, backend := byte(checkpointVersion), checkpointBackend
+	if st.Format == 3 {
+		ver, backend = checkpointVersionV3, checkpointBackendV3
+	}
+	out := []byte{ver}
 	out = bitstream.AppendUvarint(out, uint64(st.Batch))
 	for axis := range st.Axes {
 		ax := &st.Axes[axis]
@@ -60,7 +76,7 @@ func (st *CheckpointState) MarshalBinary() ([]byte, error) {
 		out = bitstream.AppendFloat64(out, ax.LevelOrigin)
 		out = append(out, byte(ax.Method))
 		refBytes := bitstream.AppendFloat64s(nil, ax.Ref)
-		packed, err := checkpointBackend.Compress(refBytes)
+		packed, err := backend.Compress(refBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -75,8 +91,14 @@ func (st *CheckpointState) MarshalBinary() ([]byte, error) {
 func (st *CheckpointState) UnmarshalBinary(data []byte) error {
 	br := bitstream.NewByteReader(data)
 	ver, err := br.ReadByte()
-	if err != nil || ver != checkpointVersion {
+	if err != nil || (ver != checkpointVersion && ver != checkpointVersionV3) {
 		return fmt.Errorf("%w: unsupported checkpoint version", ErrCorruptBlock)
+	}
+	backend := checkpointBackend
+	st.Format = 2
+	if ver == checkpointVersionV3 {
+		backend = checkpointBackendV3
+		st.Format = 3
 	}
 	batch, err := br.ReadUvarint()
 	if err != nil || batch > 1<<40 {
@@ -117,7 +139,7 @@ func (st *CheckpointState) UnmarshalBinary(data []byte) error {
 		if err != nil {
 			return mapBlockErr(err)
 		}
-		refBytes, err := checkpointBackend.Decompress(packed)
+		refBytes, err := backend.Decompress(packed)
 		if err != nil {
 			return fmt.Errorf("%w: checkpoint reference: %w", ErrCorruptBlock, err)
 		}
@@ -142,7 +164,7 @@ func (st *CheckpointState) UnmarshalBinary(data []byte) error {
 // one compressed batch; it is what Writer embeds in checkpoint blocks. The
 // returned state shares nothing with the compressor.
 func (c *Compressor) ExportState() (*CheckpointState, error) {
-	st := &CheckpointState{}
+	st := &CheckpointState{Format: c.cfg.FormatVersion}
 	for axis, e := range c.enc {
 		if e == nil {
 			return nil, errors.New("mdz: ExportState before the first batch")
@@ -184,6 +206,7 @@ func (c *Compressor) ImportState(st *CheckpointState) error {
 			AdaptInterval: c.cfg.AdaptInterval,
 			KMeans:        kmeans.Options{Seed: int64(axis) + 1},
 			Shards:        c.cfg.Shards,
+			FormatVersion: c.cfg.FormatVersion,
 			Pool:          c.pool,
 		})
 		if err != nil {

@@ -37,10 +37,22 @@ func main() {
 	entropy := flag.Bool("entropy", false, "run the entropy-stage benchmark")
 	jsonPath := flag.String("json", "", "with -entropy: write the machine-readable report to this path")
 	compare := flag.String("compare", "", "with -entropy: diff the run against a committed report")
+	format := flag.String("format", "all", "with -entropy: wire-format versions to measure (v2, v3 or all)")
 	flag.Parse()
 
 	if *entropy {
-		if err := runEntropy(*jsonPath, *compare, bench.Config{Scale: *scale, Seed: *seed}); err != nil {
+		var formats []int
+		switch *format {
+		case "v2":
+			formats = []int{2}
+		case "v3":
+			formats = []int{3}
+		case "all", "":
+		default:
+			fmt.Fprintf(os.Stderr, "mdzbench: -format must be v2, v3 or all, got %q\n", *format)
+			os.Exit(2)
+		}
+		if err := runEntropy(*jsonPath, *compare, bench.Config{Scale: *scale, Seed: *seed}, formats...); err != nil {
 			fmt.Fprintln(os.Stderr, "mdzbench:", err)
 			os.Exit(1)
 		}

@@ -6,6 +6,7 @@
 //	mdzc -c traj.xyz  -o traj.mdz            # XYZ text trajectories work too
 //	mdzc -c traj.mdzd -o traj.mdz -eps 1e-4 -bs 50 -method MT
 //	mdzc -c traj.mdzd -o traj.mdz -checkpoint 8  # recoverable framed stream
+//	mdzc -c traj.mdzd -o traj.mdz -format 3  # v3 wire format (dual-lane entropy coding)
 //	mdzc -d traj.mdz -o restored.mdzd        # decompress (or -o restored.xyz)
 //	mdzc -d traj.mdz -o restored.mdzd -salvage   # recover what a corrupt stream still holds
 //	mdzc -fsck traj.mdz                      # verify framing + CRCs, report salvageable ranges
@@ -32,7 +33,7 @@ type cliFlags struct {
 	compress, decompress, info, fsck string
 	out, method                      string
 	eps                              float64
-	bs, checkpoint                   int
+	bs, checkpoint, format           int
 	salvage                          bool
 
 	metricsAddr, cpuprofile, memprofile, statsJSON string
@@ -59,6 +60,12 @@ func validateFlags(f *cliFlags) error {
 	if f.checkpoint != 0 && f.compress == "" {
 		return fmt.Errorf("-checkpoint only applies to compression; pair it with -c")
 	}
+	if f.format != 0 && f.format != 2 && f.format != 3 {
+		return fmt.Errorf("-format must be 2 or 3, got %d", f.format)
+	}
+	if f.format == 3 && f.compress == "" {
+		return fmt.Errorf("-format only applies to compression (readers auto-detect); pair it with -c")
+	}
 	if f.fsck != "" && f.out != "" {
 		return fmt.Errorf("-fsck verifies in place and writes no output; drop -o")
 	}
@@ -79,6 +86,7 @@ func main() {
 	flag.IntVar(&f.bs, "bs", 10, "buffer size (snapshots per batch)")
 	flag.StringVar(&f.method, "method", "ADP", "compression method: ADP, VQ, VQT, MT")
 	flag.IntVar(&f.checkpoint, "checkpoint", 0, "with -c: write a recoverable framed stream with a checkpoint every N blocks (0 = one-shot format)")
+	flag.IntVar(&f.format, "format", 2, "with -c: wire-format version to write (2 = default, 3 = dual-lane entropy coding; not readable by pre-v3 builds)")
 	flag.BoolVar(&f.salvage, "salvage", false, "with -d: recover everything readable from a corrupt stream instead of failing")
 	flag.StringVar(&f.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars and pprof /debug/pprof/ on this address while the command runs")
 	flag.StringVar(&f.cpuprofile, "cpuprofile", "", "write a CPU profile to this path")
@@ -144,7 +152,7 @@ func doCompress(f *cliFlags, o *obs) error {
 	for i, f := range d.Frames {
 		frames[i] = mdz.Frame{X: f.X, Y: f.Y, Z: f.Z}
 	}
-	cfg := mdz.Config{ErrorBound: f.eps, Method: m, BufferSize: f.bs, Telemetry: o.enabled()}
+	cfg := mdz.Config{ErrorBound: f.eps, Method: m, BufferSize: f.bs, FormatVersion: f.format, Telemetry: o.enabled()}
 	var stream []byte
 	if f.checkpoint > 0 {
 		// Framed stream with embedded recovery checkpoints: survivable by
@@ -245,13 +253,14 @@ func parseContainer(path string) (meta [3]string, stream []byte, err error) {
 }
 
 // decodeStream sniffs the payload magic and decodes it with the matching
-// reader: one-shot "MDZF" via Decompress, framed "MDZW"/"MDZ2" streams via
-// the stream Reader. Salvage mode (framed streams only) recovers what it
-// can and returns the reader's accounting alongside the frames.
+// reader: one-shot "MDZF" via Decompress, framed "MDZW"/"MDZ2"/"MDZ3"
+// streams via the stream Reader. Salvage mode (framed streams only)
+// recovers what it can and returns the reader's accounting alongside the
+// frames.
 func decodeStream(stream []byte, salvage bool, o *obs) ([]mdz.Frame, *mdz.SalvageStats, error) {
 	if len(stream) >= 4 {
 		switch string(stream[:4]) {
-		case "MDZW", "MDZ2":
+		case "MDZW", "MDZ2", "MDZ3":
 			r := mdz.NewReaderWith(bytes.NewReader(stream),
 				mdz.ReaderOptions{Resync: salvage, Telemetry: o.enabled()})
 			if err := o.attach(r.TelemetryRegistry()); err != nil {

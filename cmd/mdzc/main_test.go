@@ -35,6 +35,10 @@ func TestValidateFlags(t *testing.T) {
 		{"checkpoint without -c", cliFlags{decompress: "in", out: "out", checkpoint: 8}, true},
 		{"fsck with -o", cliFlags{fsck: "in", out: "out"}, true},
 		{"info with -o", cliFlags{info: "in", out: "out"}, true},
+		{"format v3 with -c", cliFlags{compress: "in", out: "out", format: 3}, false},
+		{"format v2 anywhere", cliFlags{decompress: "in", out: "out", format: 2}, false},
+		{"format v3 without -c", cliFlags{decompress: "in", out: "out", format: 3}, true},
+		{"format out of range", cliFlags{compress: "in", out: "out", format: 5}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -66,6 +70,52 @@ func writeTestTrajectory(t *testing.T, dir string) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// TestFormatV3RoundTrip drives -c -format 3 (one-shot and framed) through
+// the CLI paths and decodes the result with the auto-detecting reader.
+func TestFormatV3RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestTrajectory(t, dir)
+	for _, tc := range []struct {
+		name       string
+		checkpoint int
+		wantMagic  string
+	}{
+		{"oneshot", 0, "MDZF"},
+		{"framed", 2, "MDZ3"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			outPath := filepath.Join(dir, tc.name+".mdz")
+			f := &cliFlags{
+				compress: in, out: outPath,
+				eps: 1e-3, bs: 4, method: "ADP",
+				format: 3, checkpoint: tc.checkpoint,
+			}
+			if err := doCompress(f, &obs{}); err != nil {
+				t.Fatal(err)
+			}
+			_, stream, err := parseContainer(outPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := string(stream[:4]); got != tc.wantMagic {
+				t.Fatalf("payload magic = %q, want %q", got, tc.wantMagic)
+			}
+			restored := filepath.Join(dir, tc.name+".out.mdzd")
+			df := &cliFlags{decompress: outPath, out: restored}
+			if err := doDecompress(df, &obs{}); err != nil {
+				t.Fatal(err)
+			}
+			d, err := dataset.Load(restored)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.M() != 12 || d.N() != 64 {
+				t.Fatalf("restored %dx%d, want 12x64", d.M(), d.N())
+			}
+		})
+	}
 }
 
 // TestStatsJSONShape runs a real compression through the obs plumbing and

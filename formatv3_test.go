@@ -1,0 +1,255 @@
+package mdz
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// compressAll runs frames through a fresh compressor batch by batch.
+func compressAll(t testing.TB, cfg Config, frames []Frame, bs int) [][]byte {
+	t.Helper()
+	c, err := NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blks [][]byte
+	for lo := 0; lo < len(frames); lo += bs {
+		hi := lo + bs
+		if hi > len(frames) {
+			hi = len(frames)
+		}
+		blk, err := c.CompressBatch(frames[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		blks = append(blks, append([]byte(nil), blk...))
+	}
+	return blks
+}
+
+func decompressAll(t testing.TB, blks [][]byte) []Frame {
+	t.Helper()
+	d := NewDecompressor()
+	var out []Frame
+	for _, blk := range blks {
+		frames, err := d.DecompressBatch(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, frames...)
+	}
+	return out
+}
+
+func requireFramesIdentical(t testing.TB, want, got []Frame, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d frames, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !framesExactEqual(want[i], got[i]) {
+			t.Fatalf("%s: frame %d not bit-identical", label, i)
+		}
+	}
+}
+
+func requireFramesWithinBound(t testing.TB, orig, got []Frame, eb float64) {
+	t.Helper()
+	if len(orig) != len(got) {
+		t.Fatalf("%d frames, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		for j := range orig[i].X {
+			for _, p := range [][2]float64{
+				{orig[i].X[j], got[i].X[j]},
+				{orig[i].Y[j], got[i].Y[j]},
+				{orig[i].Z[j], got[i].Z[j]},
+			} {
+				if math.Abs(p[0]-p[1]) > eb {
+					t.Fatalf("frame %d atom %d: error %g exceeds bound %g", i, j, math.Abs(p[0]-p[1]), eb)
+				}
+			}
+		}
+	}
+}
+
+// TestV3BatchMatchesV2 pins the central v3 contract at the public API: a
+// v3 compressor produces different wire bytes but the decompressor (which
+// auto-detects the block version) reconstructs values bit-identical to the
+// v2 pipeline. ADP is excluded from the bit-identity claim — it selects
+// the method by final compressed size, and v3's entropy stage can break
+// near-ties differently (both choices stay error-bounded; the fuzzer
+// checks that).
+func TestV3BatchMatchesV2(t *testing.T) {
+	frames := makeFrames(20, 150, 77)
+	for _, m := range []Method{VQ, VQT, MT} {
+		cfg2 := Config{ErrorBound: 1e-3, Method: m, BufferSize: 5}
+		cfg3 := cfg2
+		cfg3.FormatVersion = 3
+		blks2 := compressAll(t, cfg2, frames, 5)
+		blks3 := compressAll(t, cfg3, frames, 5)
+		same := true
+		for i := range blks2 {
+			if !bytes.Equal(blks2[i], blks3[i]) {
+				same = false
+			}
+		}
+		if same {
+			t.Fatalf("%v: v3 blocks are byte-identical to v2 (format not applied)", m)
+		}
+		requireFramesIdentical(t, decompressAll(t, blks2), decompressAll(t, blks3), m.String())
+	}
+}
+
+// TestV3ConfigValidation pins the accepted Config.FormatVersion values.
+func TestV3ConfigValidation(t *testing.T) {
+	for _, v := range []int{0, 2, 3} {
+		if _, err := NewCompressor(Config{ErrorBound: 1e-3, FormatVersion: v}); err != nil {
+			t.Fatalf("FormatVersion %d rejected: %v", v, err)
+		}
+	}
+	for _, v := range []int{1, 4, -2} {
+		if _, err := NewCompressor(Config{ErrorBound: 1e-3, FormatVersion: v}); err == nil {
+			t.Fatalf("FormatVersion %d accepted", v)
+		}
+	}
+}
+
+// TestV3OneShotRoundTrip checks the one-shot Compress/Decompress path with
+// v3 blocks inside the MDZF envelope.
+func TestV3OneShotRoundTrip(t *testing.T) {
+	frames := makeFrames(12, 80, 5)
+	c, err := NewCompressor(Config{ErrorBound: 1e-4, Mode: Absolute, FormatVersion: 3, BufferSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.Compress(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("%d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		for j := range frames[i].X {
+			for _, p := range [][2]float64{
+				{frames[i].X[j], got[i].X[j]},
+				{frames[i].Y[j], got[i].Y[j]},
+				{frames[i].Z[j], got[i].Z[j]},
+			} {
+				if math.Abs(p[0]-p[1]) > 1e-4 {
+					t.Fatalf("frame %d atom %d: error %g exceeds bound", i, j, math.Abs(p[0]-p[1]))
+				}
+			}
+		}
+	}
+}
+
+// TestV3CheckpointFormat pins that v3 compressors export v3-tagged
+// checkpoints whose payload round-trips through the version-2 checkpoint
+// encoding.
+func TestV3CheckpointFormat(t *testing.T) {
+	frames := makeFrames(8, 60, 13)
+	c, err := NewCompressor(Config{ErrorBound: 1e-3, FormatVersion: 3, BufferSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CompressBatch(frames[:4]); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Format != 3 {
+		t.Fatalf("checkpoint Format = %d, want 3", st.Format)
+	}
+	payload, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != checkpointVersionV3 {
+		t.Fatalf("checkpoint payload version = %d, want %d", payload[0], checkpointVersionV3)
+	}
+	var back CheckpointState
+	if err := back.UnmarshalBinary(payload); err != nil {
+		t.Fatal(err)
+	}
+	if back.Format != 3 || back.Batch != st.Batch {
+		t.Fatalf("round trip diverged: %+v vs %+v", back, st)
+	}
+
+	// A fresh v3 compressor resumed from the checkpoint must continue the
+	// stream byte-identically.
+	want, err := c.CompressBatch(frames[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCompressor(Config{ErrorBound: 1e-3, FormatVersion: 3, BufferSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.ImportState(&back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.CompressBatch(frames[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("resumed v3 compressor diverged from the original")
+	}
+}
+
+// FuzzV3Differential drives the public API with fuzzer-derived
+// trajectories and requires the v2 and v3 pipelines to reconstruct
+// bit-identical values for fixed methods. Under ADP the pipelines may pick
+// different methods (selection goes by compressed size, which the entropy
+// stage changes), so there both reconstructions are checked against the
+// originals within the error bound instead.
+func FuzzV3Differential(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3), uint8(2))
+	f.Add([]byte{0xFF, 0, 0xFF, 0}, uint8(1), uint8(0))
+	f.Add(bytes.Repeat([]byte{9}, 64), uint8(4), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, mSel, nSel uint8) {
+		m := int(mSel%6) + 2  // snapshots
+		n := int(nSel%10) + 1 // atoms
+		frames := make([]Frame, m)
+		at := 0
+		next := func() float64 {
+			if len(raw) == 0 {
+				return 1
+			}
+			b := raw[at%len(raw)]
+			at++
+			return float64(int8(b)) / 16
+		}
+		for t2 := range frames {
+			fr := Frame{X: make([]float64, n), Y: make([]float64, n), Z: make([]float64, n)}
+			for i := 0; i < n; i++ {
+				fr.X[i] = next()
+				fr.Y[i] = next() * 3
+				fr.Z[i] = 42
+			}
+			frames[t2] = fr
+		}
+		method := []Method{ADP, VQ, VQT, MT}[int(mSel>>4)%4]
+		cfg2 := Config{ErrorBound: 1e-3, Mode: Absolute, Method: method, BufferSize: m}
+		cfg3 := cfg2
+		cfg3.FormatVersion = 3
+		blks2 := compressAll(t, cfg2, frames, m)
+		blks3 := compressAll(t, cfg3, frames, m)
+		d2, d3 := decompressAll(t, blks2), decompressAll(t, blks3)
+		if method == ADP {
+			requireFramesWithinBound(t, frames, d2, 1e-3)
+			requireFramesWithinBound(t, frames, d3, 1e-3)
+			return
+		}
+		requireFramesIdentical(t, d2, d3, "fuzz")
+	})
+}

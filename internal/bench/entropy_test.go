@@ -31,6 +31,18 @@ func TestEntropyReportRoundTrip(t *testing.T) {
 		}
 	}
 
+	// The default run measures both formats; v3 must be populated and its
+	// ratio must sit within the 2% regression budget of the v2 run.
+	for _, m := range []string{"VQ", "VQT", "MT", "ADP"} {
+		em, ok := rep.V3Methods[m]
+		if !ok {
+			t.Fatalf("method %s missing from v3 report", m)
+		}
+		if v2 := rep.Methods[m]; em.Ratio < v2.Ratio*0.98 {
+			t.Errorf("%s: v3 ratio %.3f more than 2%% below v2 ratio %.3f", m, em.Ratio, v2.Ratio)
+		}
+	}
+
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -39,7 +51,8 @@ func TestEntropyReportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Dataset != rep.Dataset || len(back.Methods) != len(rep.Methods) {
+	if back.Dataset != rep.Dataset || len(back.Methods) != len(rep.Methods) ||
+		len(back.V3Methods) != len(rep.V3Methods) {
 		t.Fatalf("round trip mismatch: %+v vs %+v", back, rep)
 	}
 	if back.Methods["MT"].Ratio != rep.Methods["MT"].Ratio {

@@ -167,6 +167,12 @@ type Params struct {
 	// ADP decisions, quantization scope rates). Nil disables it at
 	// near-zero cost; telemetry never changes the output bytes.
 	Tel *Telemetry
+	// FormatVersion selects the block wire format: 0 or 2 write version-2
+	// blocks (version 1 when Shards resolves to 1, preserving historical
+	// bytes), 3 writes version-3 blocks (dual-stream entropy sections and
+	// the v3 dictionary coder). Decoders read all versions regardless of
+	// this setting.
+	FormatVersion int
 }
 
 func (p *Params) fill() error {
@@ -188,14 +194,38 @@ func (p *Params) fill() error {
 	if p.Backend == nil {
 		p.Backend = lossless.LZ{}
 	}
+	switch p.FormatVersion {
+	case 0:
+		p.FormatVersion = formatVer2
+	case formatVer2, formatVer3:
+	default:
+		return fmt.Errorf("core: FormatVersion must be 0, 2 or 3, got %d", p.FormatVersion)
+	}
 	return nil
+}
+
+// v3Backend returns the format-v3 variant of b: the built-in LZ flips to
+// its v3 wire layout and match finder; other backends (already versioned by
+// their own bytes, or external) pass through unchanged.
+func v3Backend(b lossless.Backend) lossless.Backend {
+	if z, ok := b.(lossless.LZ); ok {
+		z.V3 = true
+		return z
+	}
+	return b
 }
 
 // Block format constants.
 const (
-	blockMagic   = "MDZB"
-	formatVer1   = 1 // single payload section per axis
-	formatVer2   = 2 // sharded: shard count + per-shard sub-sections
+	blockMagic = "MDZB"
+	formatVer1 = 1 // single payload section per axis
+	formatVer2 = 2 // sharded: shard count + per-shard sub-sections
+	// formatVer3 keeps the version-2 sharded framing (always sharded, even
+	// K=1) but swaps every entropy payload for its dual-lane counterpart:
+	// huffman.EncodeInts2 sections inside shards and the V3 LZ backend
+	// around them. Decoders select the codec per block from this byte, so
+	// v2 and v3 blocks interleave freely on the wire.
+	formatVer3   = 3
 	firstLorenzo = 0 // first snapshot of batch: spatial Lorenzo (no ref yet)
 	firstRef     = 1 // first snapshot of batch: snapshot-0 reference
 	firstVQ      = 2 // first snapshot of batch: VQ level prediction
@@ -256,6 +286,9 @@ func NewEncoder(p Params) (*Encoder, error) {
 		cur = VQT // provisional; first batch evaluation overrides
 	}
 	e := &Encoder{p: p, q: q, cur: cur}
+	if p.FormatVersion == formatVer3 {
+		e.p.Backend = v3Backend(e.p.Backend)
+	}
 	if p.Tel != nil {
 		e.tel = *p.Tel
 		e.p.Backend = lossless.Timed{B: e.p.Backend, OnCompress: func(d time.Duration, in, out int) {
@@ -411,9 +444,12 @@ func (e *Encoder) encodeWith(m Method, batch [][]float64) (blk []byte, recon0 []
 	}
 
 	// Header. Version 1 (single section) for K=1 keeps byte-for-byte
-	// compatibility with pre-sharding blocks.
+	// compatibility with pre-sharding blocks; format v3 always uses the
+	// sharded layout so readers branch on the version byte alone.
 	ver := byte(formatVer1)
-	if k > 1 {
+	if e.p.FormatVersion == formatVer3 {
+		ver = formatVer3
+	} else if k > 1 {
 		ver = formatVer2
 	}
 	blk = append(blk, blockMagic...)
@@ -424,7 +460,7 @@ func (e *Encoder) encodeWith(m Method, batch [][]float64) (blk []byte, recon0 []
 	blk = bitstream.AppendUvarint(blk, uint64(n))
 	blk = bitstream.AppendFloat64(blk, e.km.LevelDistance)
 	blk = bitstream.AppendFloat64(blk, e.km.LevelOrigin)
-	if k == 1 {
+	if ver == formatVer1 {
 		blk = bitstream.AppendSection(blk, shards[0])
 	} else {
 		blk = bitstream.AppendUvarint(blk, uint64(k))
@@ -526,16 +562,26 @@ func (e *Encoder) encodeShard(m Method, batch [][]float64, lo, hi int, firstPred
 	sc.recon = recon
 	sc.levels, sc.outliers = levels, outliers
 
-	// Assemble payload sections, then run the lossless backend.
+	// Assemble payload sections, then run the lossless backend. Format v3
+	// swaps in the dual-lane section codec; the section order and outlier
+	// byte layout are unchanged.
 	payload := sc.payload[:0]
 	var err error
 	hsw := e.tel.HuffNS.Start()
-	payload, err = sc.huff.EncodeInts(payload, bins)
+	if e.p.FormatVersion == formatVer3 {
+		payload, err = sc.huff.EncodeInts2(payload, bins)
+	} else {
+		payload, err = sc.huff.EncodeInts(payload, bins)
+	}
 	if err != nil {
 		return nil, err
 	}
 	e.tel.observeHuffman(sc.huff.LastStats())
-	payload, err = sc.huff.EncodeInts(payload, levels)
+	if e.p.FormatVersion == formatVer3 {
+		payload, err = sc.huff.EncodeInts2(payload, levels)
+	} else {
+		payload, err = sc.huff.EncodeInts(payload, levels)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -586,9 +632,12 @@ func deinterleaveInto(out, bins []int, bs, n int) {
 // Decoder decompresses blocks produced by an Encoder. Blocks must be fed in
 // encode order (the MT reference is carried across batches).
 type Decoder struct {
-	p   Params
-	ref []float64
-	tel Telemetry // by value: zero struct (all-nil fields) when disabled
+	p Params
+	// backendV3 is the format-v3 variant of p.Backend, selected per block
+	// by the header version byte so v2 and v3 blocks interleave freely.
+	backendV3 lossless.Backend
+	ref       []float64
+	tel       Telemetry // by value: zero struct (all-nil fields) when disabled
 }
 
 // NewDecoder returns a Decoder. Only Backend, Pool and Tel are consulted
@@ -598,14 +647,16 @@ func NewDecoder(p Params) *Decoder {
 	if p.Backend == nil {
 		p.Backend = lossless.LZ{}
 	}
-	d := &Decoder{p: p}
+	d := &Decoder{p: p, backendV3: v3Backend(p.Backend)}
 	if p.Tel != nil {
 		d.tel = *p.Tel
-		d.p.Backend = lossless.Timed{B: d.p.Backend, OnDecompress: func(dur time.Duration, in, out int) {
+		onDecompress := func(dur time.Duration, in, out int) {
 			d.tel.BackendNS.Observe(dur.Nanoseconds())
 			d.tel.BackendInBytes.Add(int64(in))
 			d.tel.BackendOutBytes.Add(int64(out))
-		}}
+		}
+		d.p.Backend = lossless.Timed{B: d.p.Backend, OnDecompress: onDecompress}
+		d.backendV3 = lossless.Timed{B: d.backendV3, OnDecompress: onDecompress}
 	}
 	return d
 }
@@ -653,7 +704,7 @@ func (d *Decoder) decodeShard(q *quant.Quantizer, h *header, sh shardSec, lo int
 	bs, sn := h.bs, sh.particles
 	sc := decScratchPool.Get().(*decodeScratch)
 	defer decScratchPool.Put(sc)
-	bins, levels, outliers, err := d.sections(sh.body, bs, sn, sc)
+	bins, levels, outliers, err := d.sections(h.ver, sh.body, bs, sn, sc)
 	if err != nil {
 		return err
 	}
@@ -762,7 +813,7 @@ func (d *Decoder) decodeShardSnapshot(q *quant.Quantizer, h *header, sh shardSec
 	bs, sn := h.bs, sh.particles
 	sc := decScratchPool.Get().(*decodeScratch)
 	defer decScratchPool.Put(sc)
-	bins, levels, outliers, err := d.sections(sh.body, bs, sn, sc)
+	bins, levels, outliers, err := d.sections(h.ver, sh.body, bs, sn, sc)
 	if err != nil {
 		return err
 	}
@@ -832,6 +883,7 @@ func shardOffsets(shards []shardSec) []int {
 
 // header is the parsed block preamble.
 type header struct {
+	ver       byte
 	method    Method
 	seq       Sequence
 	firstPred byte
@@ -849,10 +901,10 @@ func parseHeader(blk []byte) (*header, error) {
 		return nil, ErrCorrupt
 	}
 	ver, err := br.ReadByte()
-	if err != nil || (ver != formatVer1 && ver != formatVer2) {
+	if err != nil || ver < formatVer1 || ver > formatVer3 {
 		return nil, ErrCorrupt
 	}
-	h := &header{}
+	h := &header{ver: ver}
 	mByte, err := br.ReadByte()
 	if err != nil {
 		return nil, corrupt(err)
@@ -868,6 +920,11 @@ func parseHeader(blk []byte) (*header, error) {
 	h.seq = Sequence(seqByte)
 	if h.firstPred, err = br.ReadByte(); err != nil {
 		return nil, corrupt(err)
+	}
+	// An unknown firstPred would route MT's snapshot 0 into the time
+	// branch, which indexes the (nonexistent) previous snapshot.
+	if h.firstPred > firstVQ {
+		return nil, ErrCorrupt
 	}
 	if h.eb, err = br.ReadFloat64(); err != nil {
 		return nil, corrupt(err)
@@ -907,7 +964,9 @@ func parseHeader(blk []byte) (*header, error) {
 	if err != nil {
 		return nil, corrupt(err)
 	}
-	if k64 < 1 || k64 > MaxShards || int(k64) > h.n {
+	// Version 3 always uses the sharded layout, so a single empty shard
+	// (k=1, n=0) is legal there; versions <= 2 only shard when n >= k >= 2.
+	if k64 < 1 || k64 > MaxShards || (int(k64) > h.n && !(k64 == 1 && h.n == 0)) {
 		return nil, ErrCorrupt
 	}
 	h.shards = make([]shardSec, int(k64))
@@ -917,7 +976,7 @@ func parseHeader(blk []byte) (*header, error) {
 		if err != nil {
 			return nil, corrupt(err)
 		}
-		if particles <= 0 || particles > h.n {
+		if particles < 0 || particles > h.n || (particles == 0 && h.n != 0) {
 			return nil, ErrCorrupt
 		}
 		h.shards[s] = shardSec{particles: particles, body: body}
@@ -942,9 +1001,14 @@ func parseHeader(blk []byte) (*header, error) {
 
 // sections decompresses one shard payload and splits it into the bin
 // stream, level-delta stream and outlier bytes, reusing sc's buffers when
-// provided. The returned slices alias sc and must not outlive its use.
-func (d *Decoder) sections(body []byte, bs, sn int, sc *decodeScratch) (bins, levels []int, outliers []byte, err error) {
-	payload, err := d.p.Backend.Decompress(body)
+// provided. The block version selects the matching backend and entropy
+// codec. The returned slices alias sc and must not outlive its use.
+func (d *Decoder) sections(ver byte, body []byte, bs, sn int, sc *decodeScratch) (bins, levels []int, outliers []byte, err error) {
+	backend := d.p.Backend
+	if ver == formatVer3 {
+		backend = d.backendV3
+	}
+	payload, err := backend.Decompress(body)
 	if err != nil {
 		return nil, nil, nil, corrupt(err)
 	}
@@ -954,11 +1018,20 @@ func (d *Decoder) sections(body []byte, bs, sn int, sc *decodeScratch) (bins, le
 		binsBuf, levelsBuf = sc.bins, sc.levels
 	}
 	hsw := d.tel.HuffNS.Start()
-	if bins, err = huffman.DecodeIntsBuf(pr, binsBuf); err != nil {
-		return nil, nil, nil, corrupt(err)
-	}
-	if levels, err = huffman.DecodeIntsBuf(pr, levelsBuf); err != nil {
-		return nil, nil, nil, corrupt(err)
+	if ver == formatVer3 {
+		if bins, err = huffman.DecodeInts2Buf(pr, binsBuf); err != nil {
+			return nil, nil, nil, corrupt(err)
+		}
+		if levels, err = huffman.DecodeInts2Buf(pr, levelsBuf); err != nil {
+			return nil, nil, nil, corrupt(err)
+		}
+	} else {
+		if bins, err = huffman.DecodeIntsBuf(pr, binsBuf); err != nil {
+			return nil, nil, nil, corrupt(err)
+		}
+		if levels, err = huffman.DecodeIntsBuf(pr, levelsBuf); err != nil {
+			return nil, nil, nil, corrupt(err)
+		}
 	}
 	hsw.Stop()
 	if sc != nil {

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// encodeBatches runs a fresh encoder over batches and returns the blocks.
+func encodeBatches(t *testing.T, p Params, batches [][][]float64) [][]byte {
+	t.Helper()
+	enc, err := NewEncoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blks := make([][]byte, len(batches))
+	for bi, batch := range batches {
+		blk, err := enc.EncodeBatch(batch)
+		if err != nil {
+			t.Fatalf("batch %d: encode: %v", bi, err)
+		}
+		blks[bi] = append([]byte(nil), blk...)
+	}
+	return blks
+}
+
+// TestV3RoundTripMatchesV2 pins the v3 invariant that matters: the wire
+// bytes change but the reconstruction does not. Every method must decode
+// v3 blocks to values bit-identical to the v2 decode of the same input.
+func TestV3RoundTripMatchesV2(t *testing.T) {
+	batches := [][][]float64{
+		crystalBatch(10, 500, 1),
+		crystalBatch(10, 500, 2),
+		liquidBatch(10, 500, 3),
+	}
+	for _, m := range []Method{VQ, VQT, MT, ADP} {
+		for _, shards := range []int{1, 3} {
+			p2 := Params{ErrorBound: 1e-3, Method: m, Shards: shards}
+			p3 := p2
+			p3.FormatVersion = 3
+			blks2 := encodeBatches(t, p2, batches)
+			blks3 := encodeBatches(t, p3, batches)
+
+			dec2, dec3 := NewDecoder(Params{}), NewDecoder(Params{})
+			for bi := range batches {
+				if blks3[bi][4] != formatVer3 {
+					t.Fatalf("%v shards=%d: block %d version byte = %d, want %d",
+						m, shards, bi, blks3[bi][4], formatVer3)
+				}
+				got2, err := dec2.DecodeBatch(blks2[bi])
+				if err != nil {
+					t.Fatalf("%v shards=%d: v2 decode batch %d: %v", m, shards, bi, err)
+				}
+				got3, err := dec3.DecodeBatch(blks3[bi])
+				if err != nil {
+					t.Fatalf("%v shards=%d: v3 decode batch %d: %v", m, shards, bi, err)
+				}
+				if len(got2) != len(got3) {
+					t.Fatalf("%v shards=%d: batch %d: snapshot count diverged", m, shards, bi)
+				}
+				for ti := range got2 {
+					for i := range got2[ti] {
+						if math.Float64bits(got2[ti][i]) != math.Float64bits(got3[ti][i]) {
+							t.Fatalf("%v shards=%d: batch %d snap %d value %d: v2=%v v3=%v",
+								m, shards, bi, ti, i, got2[ti][i], got3[ti][i])
+						}
+					}
+				}
+				if e := maxAbsErr(batches[bi], got3); e > 1e-3 {
+					t.Fatalf("%v shards=%d: batch %d: v3 error %g exceeds bound", m, shards, bi, e)
+				}
+			}
+		}
+	}
+}
+
+// TestV3SingleParticleBlock exercises the v3-only always-sharded layout at
+// the degenerate sizes where v2 would fall back to the version-1 framing.
+func TestV3SingleParticleBlock(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		batch := crystalBatch(3, n, int64(n))
+		blks := encodeBatches(t, Params{ErrorBound: 1e-3, Method: VQ, FormatVersion: 3}, [][][]float64{batch})
+		got, err := NewDecoder(Params{}).DecodeBatch(blks[0])
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if e := maxAbsErr(batch, got); e > 1e-3 {
+			t.Fatalf("n=%d: error %g exceeds bound", n, e)
+		}
+	}
+}
+
+// TestV3ParamValidation pins the accepted FormatVersion values.
+func TestV3ParamValidation(t *testing.T) {
+	for _, v := range []int{0, 2, 3} {
+		if _, err := NewEncoder(Params{ErrorBound: 1e-3, FormatVersion: v}); err != nil {
+			t.Fatalf("FormatVersion %d rejected: %v", v, err)
+		}
+	}
+	for _, v := range []int{1, 4, -1} {
+		if _, err := NewEncoder(Params{ErrorBound: 1e-3, FormatVersion: v}); err == nil {
+			t.Fatalf("FormatVersion %d accepted", v)
+		}
+	}
+}
+
+// TestV3CorruptBlocks mirrors TestCorruptBlocks for the v3 layout: every
+// truncation and every byte flip must produce an error or a decode, never
+// a panic.
+func TestV3CorruptBlocks(t *testing.T) {
+	batch := crystalBatch(8, 300, 9)
+	blks := encodeBatches(t, Params{ErrorBound: 1e-3, Method: ADP, FormatVersion: 3}, [][][]float64{batch})
+	blk := blks[0]
+	for cut := 0; cut < len(blk); cut += 3 {
+		if _, err := NewDecoder(Params{}).DecodeBatch(blk[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	for off := 0; off < len(blk); off += 7 {
+		mut := append([]byte(nil), blk...)
+		mut[off] ^= 0x20
+		NewDecoder(Params{}).DecodeBatch(mut) // must not panic
+	}
+}

@@ -49,6 +49,7 @@ type byteEncScratch struct {
 	par    [2*256 - 1]int32  // tree parent indices (root's is unset)
 	table  []byte
 	w      bitstream.Writer
+	w2     bitstream.Writer // second lane of the dual-stream (v3) payload
 }
 
 // leafNode is one pre-merge Huffman leaf in the byte builder.
@@ -69,6 +70,42 @@ func EncodeBytes(dst []byte, data []byte) ([]byte, error) {
 	s := byteEncPool.Get().(*byteEncScratch)
 	defer byteEncPool.Put(s)
 
+	nsym := s.histogram(data)
+	if err := s.buildCodes(nsym); err != nil {
+		return nil, err
+	}
+	s.appendCodeTable(nsym)
+
+	// Payload: pack codes through a local 64-bit accumulator so the Writer
+	// is called once per ~64 bits instead of once per symbol. MSB-first
+	// concatenation makes the flushed words bit-identical to per-code writes.
+	s.w.Reset()
+	var acc uint64
+	var na uint
+	for _, b := range data {
+		c := s.codes[b]
+		if na+uint(c.n) > 64 {
+			s.w.WriteBits(acc, na)
+			acc, na = 0, 0
+		}
+		acc = acc<<c.n | c.bits
+		na += uint(c.n)
+	}
+	if na > 0 {
+		s.w.WriteBits(acc, na)
+	}
+
+	dst = bitstream.AppendSection(dst, s.table)
+	dst = bitstream.AppendUvarint(dst, uint64(len(data)))
+	dst = bitstream.AppendSection(dst, s.w.Bytes())
+	return dst, nil
+}
+
+// histogram fills s.freq with data's byte frequencies and returns the number
+// of distinct symbols. freq4 holds four partial histograms summed into freq:
+// striping the counts breaks the store-to-load dependency a single table
+// suffers on runs of equal bytes.
+func (s *byteEncScratch) histogram(data []byte) int {
 	clear(s.freq[:])
 	if len(data) < 512 {
 		// Striping doesn't amortize its table clears on short sections.
@@ -111,12 +148,13 @@ func EncodeBytes(dst []byte, data []byte) ([]byte, error) {
 			nsym++
 		}
 	}
-	if err := s.buildCodes(nsym); err != nil {
-		return nil, err
-	}
+	return nsym
+}
 
-	// Table: uvarint symbol count, then (zigzag symbol delta, length byte)
-	// pairs in ascending symbol order — AppendTable's exact layout.
+// appendCodeTable serializes the built code into s.table: uvarint symbol
+// count, then (zigzag symbol delta, length byte) pairs in ascending symbol
+// order — AppendTable's exact layout.
+func (s *byteEncScratch) appendCodeTable(nsym int) {
 	table := bitstream.AppendUvarint(s.table[:0], uint64(nsym))
 	prev := int64(0)
 	for sym := 0; sym < 256; sym++ {
@@ -128,30 +166,6 @@ func EncodeBytes(dst []byte, data []byte) ([]byte, error) {
 		table = append(table, s.lens[sym])
 	}
 	s.table = table
-
-	// Payload: pack codes through a local 64-bit accumulator so the Writer
-	// is called once per ~64 bits instead of once per symbol. MSB-first
-	// concatenation makes the flushed words bit-identical to per-code writes.
-	s.w.Reset()
-	var acc uint64
-	var na uint
-	for _, b := range data {
-		c := s.codes[b]
-		if na+uint(c.n) > 64 {
-			s.w.WriteBits(acc, na)
-			acc, na = 0, 0
-		}
-		acc = acc<<c.n | c.bits
-		na += uint(c.n)
-	}
-	if na > 0 {
-		s.w.WriteBits(acc, na)
-	}
-
-	dst = bitstream.AppendSection(dst, table)
-	dst = bitstream.AppendUvarint(dst, uint64(len(data)))
-	dst = bitstream.AppendSection(dst, s.w.Bytes())
-	return dst, nil
 }
 
 // buildCodes derives canonical code lengths and codes for the nsym symbols
@@ -291,6 +305,7 @@ type DecodeScratch struct {
 	sorted  []symLen
 	ext     []uint8
 	r       bitstream.Reader
+	r2      bitstream.Reader // second lane of the dual-stream (v3) payload
 	br      bitstream.ByteReader
 }
 

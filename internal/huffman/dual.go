@@ -1,0 +1,551 @@
+package huffman
+
+import (
+	"fmt"
+
+	"github.com/mdz/mdz/internal/bitstream"
+)
+
+// This file implements the format v3 entropy sections: interleaved
+// dual-stream coding with multi-symbol decode.
+//
+// A v3 section splits the symbol sequence into two halves ("lanes") that are
+// bit-packed independently and laid out as
+//
+//	section(table) || uvarint n || section(lane0) || section(lane1)
+//
+// with lane0 = syms[:(n+1)/2] and lane1 = syms[(n+1)/2:]. The table is the
+// identical serialization v2 uses (AppendTable's layout), so the code itself
+// carries no version. Two independent bit buffers let the encoder pack and
+// the decoder refill the lanes alternately: each lane's shift/flush chain no
+// longer serializes against the other's, which hides most of the
+// accumulator-dependency latency the single-stream (v2) hot loops pin.
+//
+// On top of the dual lanes, decode uses a pair LUT: each lutBits-wide root
+// probe resolves up to two complete codes in one table load (pairEnt), so
+// dense alphabets — where most codes are a handful of bits — average well
+// under one table access per symbol.
+
+// pairEnt is one slot of the multi-symbol decode table. n is the number of
+// symbols the probe resolves: 2 when a complete second code fits in the
+// lutBits window after the first (consume lt bits), 1 when only the first
+// code resolves (consume l1 bits), 0 when the prefix needs the checked
+// fallback path (subtable codes, uncovered long codes, or symbols outside
+// int32). w flags symbols outside 0..255 for the byte-section decoder: bit 0
+// for sym1, bit 1 for sym2.
+type pairEnt struct {
+	sym1, sym2 int32
+	l1, lt     uint8
+	n, w       uint8
+}
+
+// buildPair derives the multi-symbol root table from the already-built
+// two-level LUT. For a root slot p whose first code has length l1, the
+// window advanced by l1 bits is p<<l1 (mod 2^lutBits) with the vacated low
+// bits zero-filled; the entry found there describes a real second code only
+// if it is a leaf whose length fits in the remaining lutBits-l1 genuine bits
+// — entries reachable purely through the zero fill are excluded by that
+// length test, because a leaf of length l2 <= lutBits-l1 is determined by
+// the window's top l2 bits alone, all of which are real.
+func (d *Decoder) buildPair() {
+	if cap(d.pair) >= 1<<lutBits {
+		d.pair = d.pair[:1<<lutBits]
+	} else {
+		d.pair = make([]pairEnt, 1<<lutBits)
+	}
+	pair := d.pair
+	for p := range pair {
+		e := d.lut[p]
+		if e.len == 0 {
+			pair[p] = pairEnt{}
+			continue
+		}
+		sym := d.symbols[e.index]
+		if int(int32(sym)) != sym {
+			pair[p] = pairEnt{}
+			continue
+		}
+		ent := pairEnt{sym1: int32(sym), l1: e.len, lt: e.len, n: 1}
+		if uint(sym) > 255 {
+			ent.w = 1
+		}
+		if rem := lutBits - uint(e.len); rem > 0 {
+			e2 := d.lut[(p<<e.len)&(1<<lutBits-1)]
+			if e2.len != 0 && uint(e2.len) <= rem {
+				if sym2 := d.symbols[e2.index]; int(int32(sym2)) == sym2 {
+					ent.sym2 = int32(sym2)
+					ent.lt = e.len + e2.len
+					ent.n = 2
+					if uint(sym2) > 255 {
+						ent.w |= 2
+					}
+				}
+			}
+		}
+		pair[p] = ent
+	}
+}
+
+// encodeDual packs lane a into w0 and lane b into w1, interleaving the two
+// local accumulators so the per-symbol shift chains of the lanes overlap.
+// Each lane's bytes are identical to an independent EncodeAll of that lane.
+func (e *Encoder) encodeDual(w0, w1 *bitstream.Writer, a, b []int) error {
+	if e.dense == nil {
+		// Sparse alphabet: the map path is cold; encode the lanes serially.
+		if err := e.EncodeAll(w0, a); err != nil {
+			return err
+		}
+		return e.EncodeAll(w1, b)
+	}
+	lo, dense := e.denseMin, e.dense
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	var acc0, acc1 uint64
+	var na0, na1 uint
+	for i := 0; i < m; i++ {
+		ia, ib := a[i]-lo, b[i]-lo
+		if uint(ia) >= uint(len(dense)) || dense[ia].n == 0 {
+			return fmt.Errorf("huffman: symbol %d not in alphabet", a[i])
+		}
+		if uint(ib) >= uint(len(dense)) || dense[ib].n == 0 {
+			return fmt.Errorf("huffman: symbol %d not in alphabet", b[i])
+		}
+		c0, c1 := dense[ia], dense[ib]
+		if na0+uint(c0.n) > 64 {
+			w0.WriteBits(acc0, na0)
+			acc0, na0 = 0, 0
+		}
+		acc0 = acc0<<c0.n | c0.bits
+		na0 += uint(c0.n)
+		if na1+uint(c1.n) > 64 {
+			w1.WriteBits(acc1, na1)
+			acc1, na1 = 0, 0
+		}
+		acc1 = acc1<<c1.n | c1.bits
+		na1 += uint(c1.n)
+	}
+	// Lane-length tails (the halves differ by at most one symbol).
+	for _, s := range a[m:] {
+		idx := s - lo
+		if uint(idx) >= uint(len(dense)) || dense[idx].n == 0 {
+			return fmt.Errorf("huffman: symbol %d not in alphabet", s)
+		}
+		c := dense[idx]
+		if na0+uint(c.n) > 64 {
+			w0.WriteBits(acc0, na0)
+			acc0, na0 = 0, 0
+		}
+		acc0 = acc0<<c.n | c.bits
+		na0 += uint(c.n)
+	}
+	for _, s := range b[m:] {
+		idx := s - lo
+		if uint(idx) >= uint(len(dense)) || dense[idx].n == 0 {
+			return fmt.Errorf("huffman: symbol %d not in alphabet", s)
+		}
+		c := dense[idx]
+		if na1+uint(c.n) > 64 {
+			w1.WriteBits(acc1, na1)
+			acc1, na1 = 0, 0
+		}
+		acc1 = acc1<<c.n | c.bits
+		na1 += uint(c.n)
+	}
+	if na0 > 0 {
+		w0.WriteBits(acc0, na0)
+	}
+	if na1 > 0 {
+		w1.WriteBits(acc1, na1)
+	}
+	return nil
+}
+
+// EncodeInts2 is the dual-stream (format v3) counterpart of EncodeInts: same
+// code table, payload split into two independently packed lanes.
+func (s *Scratch) EncodeInts2(dst []byte, syms []int) ([]byte, error) {
+	enc, err := s.buildFor(syms)
+	if err != nil {
+		return nil, err
+	}
+	h := (len(syms) + 1) / 2
+	var table []byte
+	var w0, w1 *bitstream.Writer
+	if s == nil {
+		table = enc.AppendTable(nil)
+		w0 = bitstream.NewWriter(len(syms) / 4)
+		w1 = bitstream.NewWriter(len(syms) / 4)
+	} else {
+		s.table = enc.AppendTable(s.table[:0])
+		table = s.table
+		s.w.Reset()
+		s.w2.Reset()
+		w0, w1 = &s.w, &s.w2
+	}
+	if err := enc.encodeDual(w0, w1, syms[:h], syms[h:]); err != nil {
+		return nil, err
+	}
+	if s != nil {
+		s.stats = EncodeStats{
+			Symbols:      enc.NumSymbols(),
+			TableBytes:   len(table),
+			PayloadBytes: len(w0.Bytes()) + len(w1.Bytes()),
+		}
+	}
+	dst = bitstream.AppendSection(dst, table)
+	dst = bitstream.AppendUvarint(dst, uint64(len(syms)))
+	dst = bitstream.AppendSection(dst, w0.Bytes())
+	dst = bitstream.AppendSection(dst, w1.Bytes())
+	return dst, nil
+}
+
+// EncodeInts2 is the convenience form with fresh state.
+func EncodeInts2(dst []byte, syms []int) ([]byte, error) {
+	return (*Scratch)(nil).EncodeInts2(dst, syms)
+}
+
+// decodeDual fills out from the two lane readers: out[:h] from r0, out[h:]
+// from r1, alternating one pair-LUT step per lane inside a register-resident
+// burst. Either lane falling off its fast path (refill short, subtable or
+// long code, non-int32 symbol) drops that step to the checked Decode; each
+// lane's tail drains through the single-lane fast loop.
+func (d *Decoder) decodeDual(r0, r1 *bitstream.Reader, out []int, h int) error {
+	need := uint(lutBits)
+	if m := uint(d.maxLen); m > need {
+		need = m
+	}
+	pair := d.pair
+	i0, i1 := 0, h
+	lim0, lim1 := h, len(out)
+outer:
+	for i0 < lim0 && i1 < lim1 && r0.Ensure(need) && r1.Ensure(need) {
+		c0, b0 := r0.BitState()
+		c1, b1 := r1.BitState()
+		for b0 >= need && b1 >= need && i0 < lim0 && i1 < lim1 {
+			e0 := pair[c0>>(64-lutBits)]
+			e1 := pair[c1>>(64-lutBits)]
+			if e0.n == 0 || e1.n == 0 {
+				r0.SetBitState(c0, b0)
+				r1.SetBitState(c1, b1)
+				if e0.n == 0 {
+					s, err := d.Decode(r0)
+					if err != nil {
+						return err
+					}
+					out[i0] = s
+					i0++
+				} else {
+					s, err := d.Decode(r1)
+					if err != nil {
+						return err
+					}
+					out[i1] = s
+					i1++
+				}
+				continue outer
+			}
+			if e0.n == 2 && lim0-i0 >= 2 {
+				out[i0] = int(e0.sym1)
+				out[i0+1] = int(e0.sym2)
+				i0 += 2
+				c0 <<= e0.lt
+				b0 -= uint(e0.lt)
+			} else {
+				out[i0] = int(e0.sym1)
+				i0++
+				c0 <<= e0.l1
+				b0 -= uint(e0.l1)
+			}
+			if e1.n == 2 && lim1-i1 >= 2 {
+				out[i1] = int(e1.sym1)
+				out[i1+1] = int(e1.sym2)
+				i1 += 2
+				c1 <<= e1.lt
+				b1 -= uint(e1.lt)
+			} else {
+				out[i1] = int(e1.sym1)
+				i1++
+				c1 <<= e1.l1
+				b1 -= uint(e1.l1)
+			}
+		}
+		r0.SetBitState(c0, b0)
+		r1.SetBitState(c1, b1)
+	}
+	if err := d.decodeInto(r0, out[i0:lim0]); err != nil {
+		return err
+	}
+	return d.decodeInto(r1, out[i1:lim1])
+}
+
+// DecodeInts2Buf inverts EncodeInts2, consuming from br into buf (reused
+// when it has capacity).
+func DecodeInts2Buf(br *bitstream.ByteReader, buf []int) ([]int, error) {
+	table, err := br.ReadSection()
+	if err != nil {
+		return nil, err
+	}
+	dec, err := ReadTable(bitstream.NewByteReader(table))
+	if err != nil {
+		return nil, err
+	}
+	n, err := br.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	p0, err := br.ReadSection()
+	if err != nil {
+		return nil, err
+	}
+	p1, err := br.ReadSection()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		if buf != nil {
+			return buf[:0], nil
+		}
+		return []int{}, nil
+	}
+	if n > 1<<34 {
+		return nil, ErrCorrupt
+	}
+	h := (n + 1) / 2
+	if h > uint64(len(p0))*64+64 || n-h > uint64(len(p1))*64+64 {
+		return nil, ErrCorrupt
+	}
+	var out []int
+	if cap(buf) >= int(n) {
+		out = buf[:n]
+	} else {
+		out = make([]int, n)
+	}
+	if len(dec.symbols) == 0 {
+		return nil, ErrCorrupt
+	}
+	dec.buildPair()
+	if err := dec.decodeDual(bitstream.NewReader(p0), bitstream.NewReader(p1), out, int(h)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInts2 is the convenience form of DecodeInts2Buf.
+func DecodeInts2(br *bitstream.ByteReader) ([]int, error) {
+	return DecodeInts2Buf(br, nil)
+}
+
+// EncodeBytes2 is the dual-stream (format v3) counterpart of EncodeBytes:
+// same code table, payload split into two independently packed lanes.
+func EncodeBytes2(dst []byte, data []byte) ([]byte, error) {
+	s := byteEncPool.Get().(*byteEncScratch)
+	defer byteEncPool.Put(s)
+
+	nsym := s.histogram(data)
+	if err := s.buildCodes(nsym); err != nil {
+		return nil, err
+	}
+	s.appendCodeTable(nsym)
+
+	h := (len(data) + 1) / 2
+	a, b := data[:h], data[h:]
+	s.w.Reset()
+	s.w2.Reset()
+	var acc0, acc1 uint64
+	var na0, na1 uint
+	for i := 0; i < len(b); i++ {
+		c0, c1 := s.codes[a[i]], s.codes[b[i]]
+		if na0+uint(c0.n) > 64 {
+			s.w.WriteBits(acc0, na0)
+			acc0, na0 = 0, 0
+		}
+		acc0 = acc0<<c0.n | c0.bits
+		na0 += uint(c0.n)
+		if na1+uint(c1.n) > 64 {
+			s.w2.WriteBits(acc1, na1)
+			acc1, na1 = 0, 0
+		}
+		acc1 = acc1<<c1.n | c1.bits
+		na1 += uint(c1.n)
+	}
+	if len(a) > len(b) {
+		c := s.codes[a[len(a)-1]]
+		if na0+uint(c.n) > 64 {
+			s.w.WriteBits(acc0, na0)
+			acc0, na0 = 0, 0
+		}
+		acc0 = acc0<<c.n | c.bits
+		na0 += uint(c.n)
+	}
+	if na0 > 0 {
+		s.w.WriteBits(acc0, na0)
+	}
+	if na1 > 0 {
+		s.w2.WriteBits(acc1, na1)
+	}
+
+	dst = bitstream.AppendSection(dst, s.table)
+	dst = bitstream.AppendUvarint(dst, uint64(len(data)))
+	dst = bitstream.AppendSection(dst, s.w.Bytes())
+	dst = bitstream.AppendSection(dst, s.w2.Bytes())
+	return dst, nil
+}
+
+// decodeDualBytes is decodeDual with a byte destination and the byte-range
+// poisoning semantics of DecodeAllBytesBuf: stream errors surface
+// immediately, ErrByteRange only after all symbols decode.
+func (d *Decoder) decodeDualBytes(r0, r1 *bitstream.Reader, out []byte, h int) error {
+	need := uint(lutBits)
+	if m := uint(d.maxLen); m > need {
+		need = m
+	}
+	pair := d.pair
+	var wideAcc uint8
+	i0, i1 := 0, h
+	lim0, lim1 := h, len(out)
+outer:
+	for i0 < lim0 && i1 < lim1 && r0.Ensure(need) && r1.Ensure(need) {
+		c0, b0 := r0.BitState()
+		c1, b1 := r1.BitState()
+		for b0 >= need && b1 >= need && i0 < lim0 && i1 < lim1 {
+			e0 := pair[c0>>(64-lutBits)]
+			e1 := pair[c1>>(64-lutBits)]
+			if e0.n == 0 || e1.n == 0 {
+				r0.SetBitState(c0, b0)
+				r1.SetBitState(c1, b1)
+				if e0.n == 0 {
+					s, err := d.Decode(r0)
+					if err != nil {
+						return err
+					}
+					if uint(s) > 255 {
+						wideAcc = 1
+					}
+					out[i0] = byte(s)
+					i0++
+				} else {
+					s, err := d.Decode(r1)
+					if err != nil {
+						return err
+					}
+					if uint(s) > 255 {
+						wideAcc = 1
+					}
+					out[i1] = byte(s)
+					i1++
+				}
+				continue outer
+			}
+			if e0.n == 2 && lim0-i0 >= 2 {
+				out[i0] = byte(e0.sym1)
+				out[i0+1] = byte(e0.sym2)
+				i0 += 2
+				wideAcc |= e0.w
+				c0 <<= e0.lt
+				b0 -= uint(e0.lt)
+			} else {
+				out[i0] = byte(e0.sym1)
+				i0++
+				wideAcc |= e0.w & 1
+				c0 <<= e0.l1
+				b0 -= uint(e0.l1)
+			}
+			if e1.n == 2 && lim1-i1 >= 2 {
+				out[i1] = byte(e1.sym1)
+				out[i1+1] = byte(e1.sym2)
+				i1 += 2
+				wideAcc |= e1.w
+				c1 <<= e1.lt
+				b1 -= uint(e1.lt)
+			} else {
+				out[i1] = byte(e1.sym1)
+				i1++
+				wideAcc |= e1.w & 1
+				c1 <<= e1.l1
+				b1 -= uint(e1.l1)
+			}
+		}
+		r0.SetBitState(c0, b0)
+		r1.SetBitState(c1, b1)
+	}
+	for ; i0 < lim0; i0++ {
+		s, err := d.Decode(r0)
+		if err != nil {
+			return err
+		}
+		if uint(s) > 255 {
+			wideAcc = 1
+		}
+		out[i0] = byte(s)
+	}
+	for ; i1 < lim1; i1++ {
+		s, err := d.Decode(r1)
+		if err != nil {
+			return err
+		}
+		if uint(s) > 255 {
+			wideAcc = 1
+		}
+		out[i1] = byte(s)
+	}
+	if wideAcc != 0 {
+		return ErrByteRange
+	}
+	return nil
+}
+
+// DecodeBytes2 inverts EncodeBytes2, consuming one dual-lane section from br
+// into buf (reused when it has capacity).
+func (s *DecodeScratch) DecodeBytes2(br *bitstream.ByteReader, buf []byte) ([]byte, error) {
+	table, err := br.ReadSection()
+	if err != nil {
+		return nil, err
+	}
+	s.br.Reset(table)
+	dec, err := s.ReadTable(&s.br)
+	if err != nil {
+		return nil, err
+	}
+	n, err := br.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	p0, err := br.ReadSection()
+	if err != nil {
+		return nil, err
+	}
+	p1, err := br.ReadSection()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		if buf != nil {
+			return buf[:0], nil
+		}
+		return []byte{}, nil
+	}
+	if n > 1<<34 {
+		return nil, ErrCorrupt
+	}
+	h := (n + 1) / 2
+	if h > uint64(len(p0))*64+64 || n-h > uint64(len(p1))*64+64 {
+		return nil, ErrCorrupt
+	}
+	var out []byte
+	if cap(buf) >= int(n) {
+		out = buf[:n]
+	} else {
+		out = make([]byte, n)
+	}
+	if len(dec.symbols) == 0 {
+		return nil, ErrCorrupt
+	}
+	dec.buildPair()
+	s.r.Reset(p0)
+	s.r2.Reset(p1)
+	if err := dec.decodeDualBytes(&s.r, &s.r2, out, int(h)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -9,7 +9,6 @@
 package huffman
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"slices"
@@ -28,32 +27,6 @@ var (
 	// malformed.
 	ErrCorrupt = errors.New("huffman: corrupt stream")
 )
-
-type heapNode struct {
-	weight      uint64
-	symbol      int // valid for leaves
-	left, right *heapNode
-	order       int // tie-break for determinism
-}
-
-type nodeHeap []*heapNode
-
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].weight != h[j].weight {
-		return h[i].weight < h[j].weight
-	}
-	return h[i].order < h[j].order
-}
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*heapNode)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
 
 // Encoder holds a canonical code table for a fixed symbol set.
 type Encoder struct {
@@ -104,61 +77,245 @@ func Build(freq map[int]uint64) (*Encoder, error) {
 // identical codes for identical (symbol, weight) multisets. The slices are
 // not retained.
 func buildSorted(syms []int, weights []uint64) (*Encoder, error) {
-	if len(syms) == 0 {
-		return &Encoder{codes: map[int]code{}}, nil
-	}
-	if len(syms) == 1 {
-		// Degenerate alphabet: one-bit code.
-		e := &Encoder{codes: map[int]code{syms[0]: {0, 1}}}
-		e.symbols = []int{syms[0]}
-		e.lengths = []uint8{1}
-		e.buildDense()
-		return e, nil
-	}
-	// All tree nodes live in one slab (len(syms) leaves + len(syms)-1
-	// internal nodes), so building the tree costs two allocations instead of
-	// one per node — this is on the per-shard encode hot path.
-	slab := make([]heapNode, 2*len(syms)-1)
-	h := make(nodeHeap, 0, len(syms))
-	order := 0
-	for i, s := range syms {
-		node := &slab[order]
-		*node = heapNode{weight: weights[i], symbol: s, order: order}
-		h = append(h, node)
-		order++
-	}
-	heap.Init(&h)
-	for h.Len() > 1 {
-		a := heap.Pop(&h).(*heapNode)
-		b := heap.Pop(&h).(*heapNode)
-		node := &slab[order]
-		*node = heapNode{weight: a.weight + b.weight, left: a, right: b, order: order}
-		heap.Push(&h, node)
-		order++
-	}
-	root := h[0]
-	lengths := map[int]uint8{}
-	assignDepths(root, 0, lengths)
-	// Clamp pathological depths (cannot realistically occur with uint64
-	// weights and bounded alphabets, but keep the decoder table safe).
-	for s, l := range lengths {
-		if l > MaxCodeLen {
-			lengths[s] = MaxCodeLen
-		} else if l == 0 {
-			lengths[s] = 1
-		}
-		_ = s
-	}
-	return fromLengths(lengths)
+	return buildSortedSc(syms, weights, nil)
 }
 
-func assignDepths(n *heapNode, depth uint8, out map[int]uint8) {
-	if n.left == nil && n.right == nil {
-		out[n.symbol] = depth
-		return
+// buildSortedSc is buildSorted with optional scratch reuse: with a non-nil
+// Scratch the sort keys, tree arrays, and the returned Encoder's tables all
+// come from pooled buffers, so the per-shard encode path builds its code with
+// zero steady-state allocations. The produced code is byte-identical to the
+// historical heap-based builder: leaves enter the merge in (weight, symbol
+// order) and internal nodes in creation order, which reproduces the heap's
+// (weight, order) pop sequence exactly — on a weight tie every leaf order
+// precedes every merge order, ties among leaves resolve by ascending symbol
+// (the stable weight sort over an ascending-symbol input), and ties among
+// merges resolve by creation order (merge weights are non-decreasing, so the
+// queue front is the earliest minimum). huffman_ref_test.go pins this
+// equivalence against the kept heap implementation.
+func buildSortedSc(syms []int, weights []uint64, s *Scratch) (*Encoder, error) {
+	n := len(syms)
+	var e *Encoder
+	if s != nil {
+		e = &s.enc
+		old := *e
+		*e = Encoder{}
+		e.symbols, e.lengths, e.dense = old.symbols[:0], old.lengths[:0], old.dense[:0]
+	} else {
+		e = &Encoder{}
 	}
-	assignDepths(n.left, depth+1, out)
-	assignDepths(n.right, depth+1, out)
+	if n == 0 {
+		return e, nil
+	}
+	if n == 1 {
+		// Degenerate alphabet: one-bit code.
+		e.symbols = append(e.symbols, syms[0])
+		e.lengths = append(e.lengths, 1)
+		e.denseMin = syms[0]
+		e.dense = append(e.dense[:0], code{bits: 0, n: 1})
+		return e, nil
+	}
+	// Leaves in merge-pop order: a stable sort by weight over the ascending
+	// symbol list. When weights and alphabet size fit, weight and original
+	// index pack into one uint64 so the sort is a primitive slices.Sort
+	// (pdqsort, no comparator calls); the fallback sorts index handles
+	// stably.
+	var keys []uint64
+	if s != nil && cap(s.keys) >= n {
+		keys = s.keys[:n]
+	} else {
+		keys = make([]uint64, n)
+		if s != nil {
+			s.keys = keys
+		}
+	}
+	packed := n < 1<<24
+	if packed {
+		for _, w := range weights {
+			if w >= 1<<40 {
+				packed = false
+				break
+			}
+		}
+	}
+	if packed {
+		for i, w := range weights {
+			keys[i] = w<<24 | uint64(i)
+		}
+		slices.Sort(keys)
+	} else {
+		for i := range keys {
+			keys[i] = uint64(i)
+		}
+		slices.SortStableFunc(keys, func(a, b uint64) int {
+			wa, wb := weights[a], weights[b]
+			if wa < wb {
+				return -1
+			}
+			if wa > wb {
+				return 1
+			}
+			return 0
+		})
+	}
+	ordOf := func(j int) int {
+		if packed {
+			return int(keys[j] & (1<<24 - 1))
+		}
+		return int(keys[j])
+	}
+	// Two-queue Huffman merge over a flat node array: nodes 0..n-1 are the
+	// sorted leaves, nodes n..2n-2 the merges in creation order. Each step
+	// pops the two smallest weights, preferring the leaf queue on ties.
+	nodes := 2*n - 1
+	var tw []uint64
+	var par []int32
+	if s != nil && cap(s.tw) >= nodes {
+		tw = s.tw[:nodes]
+	} else {
+		tw = make([]uint64, nodes)
+		if s != nil {
+			s.tw = tw
+		}
+	}
+	if s != nil && cap(s.par) >= nodes {
+		par = s.par[:nodes]
+	} else {
+		par = make([]int32, nodes)
+		if s != nil {
+			s.par = par
+		}
+	}
+	for j := 0; j < n; j++ {
+		tw[j] = weights[ordOf(j)]
+	}
+	li, mi := 0, n
+	for created := n; created < nodes; created++ {
+		var a, b int
+		if li < n && (mi >= created || tw[li] <= tw[mi]) {
+			a, li = li, li+1
+		} else {
+			a, mi = mi, mi+1
+		}
+		if li < n && (mi >= created || tw[li] <= tw[mi]) {
+			b, li = li, li+1
+		} else {
+			b, mi = mi, mi+1
+		}
+		tw[created] = tw[a] + tw[b]
+		par[a], par[b] = int32(created), int32(created)
+	}
+	// Leaf depths via a reverse parent walk (parents are always created after
+	// their children, so one descending pass resolves every depth), saturated
+	// at 255 ahead of the MaxCodeLen clamp.
+	var depth []uint8
+	if s != nil && cap(s.depth) >= nodes {
+		depth = s.depth[:nodes]
+	} else {
+		depth = make([]uint8, nodes)
+		if s != nil {
+			s.depth = depth
+		}
+	}
+	depth[nodes-1] = 0
+	for j := nodes - 2; j >= 0; j-- {
+		d := depth[par[j]]
+		if d < 255 {
+			d++
+		}
+		depth[j] = d
+	}
+	// Code lengths per original (ascending-symbol) position, clamped to
+	// MaxCodeLen exactly as the historical builder clamped.
+	var lens []uint8
+	if s != nil && cap(s.ordLens) >= n {
+		lens = s.ordLens[:n]
+	} else {
+		lens = make([]uint8, n)
+		if s != nil {
+			s.ordLens = lens
+		}
+	}
+	var cnt [MaxCodeLen + 1]int32
+	maxLen := uint8(0)
+	for j := 0; j < n; j++ {
+		l := depth[j]
+		if l > MaxCodeLen {
+			l = MaxCodeLen
+		}
+		lens[ordOf(j)] = l
+		cnt[l]++
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	// Canonical first-code/first-index per length, with the same
+	// over-subscription guard fromLengths applies per symbol (reachable only
+	// through the depth clamp, i.e. never for realistic weights).
+	var first [MaxCodeLen + 1]uint64
+	var fidx [MaxCodeLen + 1]int32
+	var next [MaxCodeLen + 1]int32
+	var c uint64
+	var idx int32
+	for l := uint8(1); l <= maxLen; l++ {
+		first[l] = c
+		fidx[l] = idx
+		c += uint64(cnt[l])
+		idx += cnt[l]
+		if cnt[l] > 0 && c > 1<<l {
+			return nil, ErrCorrupt // over-subscribed code space
+		}
+		c <<= 1
+	}
+	// Assign codes by ascending symbol: position fidx[l]+k within the
+	// canonical (length, symbol) order, code first[l]+k — the exact
+	// assignment fromLengths produces.
+	if cap(e.symbols) >= n {
+		e.symbols = e.symbols[:n]
+	} else {
+		e.symbols = make([]int, n)
+	}
+	if cap(e.lengths) >= n {
+		e.lengths = e.lengths[:n]
+	} else {
+		e.lengths = make([]uint8, n)
+	}
+	lo, hi := syms[0], syms[n-1]
+	diff := uint64(hi) - uint64(lo)
+	if diff < uint64(2*n+1024) {
+		span := int(diff) + 1
+		var dense []code
+		if cap(e.dense) >= span {
+			dense = e.dense[:span]
+			clear(dense)
+		} else {
+			dense = make([]code, span)
+		}
+		for i := 0; i < n; i++ {
+			l := lens[i]
+			k := next[l]
+			next[l]++
+			pos := fidx[l] + k
+			e.symbols[pos] = syms[i]
+			e.lengths[pos] = l
+			dense[syms[i]-lo] = code{bits: first[l] + uint64(k), n: l}
+		}
+		e.denseMin = lo
+		e.dense = dense
+	} else {
+		codes := make(map[int]code, n)
+		for i := 0; i < n; i++ {
+			l := lens[i]
+			k := next[l]
+			next[l]++
+			pos := fidx[l] + k
+			e.symbols[pos] = syms[i]
+			e.lengths[pos] = l
+			codes[syms[i]] = code{bits: first[l] + uint64(k), n: l}
+		}
+		e.codes = codes
+		e.dense = nil
+	}
+	return e, nil
 }
 
 // fromLengths builds the canonical code assignment from code lengths:
@@ -248,7 +405,7 @@ func (e *Encoder) CodeLen(s int) int {
 }
 
 // NumSymbols reports the alphabet size.
-func (e *Encoder) NumSymbols() int { return len(e.codes) }
+func (e *Encoder) NumSymbols() int { return len(e.symbols) }
 
 // Encode appends the code for symbol s to w. Encoding a symbol outside the
 // alphabet returns an error.
@@ -262,16 +419,34 @@ func (e *Encoder) Encode(w *bitstream.Writer, s int) error {
 }
 
 // EncodeAll encodes a symbol slice.
+//
+// The dense path packs codes into a local 64-bit accumulator and hands the
+// Writer full words, the same provably bit-identical transform the byte
+// section encoder uses: codes compose MSB-first inside the accumulator
+// exactly as consecutive WriteBits calls would emit them, and the flush
+// condition (na+c.n > 64) guarantees no code ever straddles the local
+// accumulator.
 func (e *Encoder) EncodeAll(w *bitstream.Writer, syms []int) error {
 	if e.dense != nil {
 		// Hot path: slice-indexed code lookup, no per-symbol call overhead.
 		lo, dense := e.denseMin, e.dense
+		var acc uint64
+		var na uint
 		for _, s := range syms {
 			idx := s - lo
 			if uint(idx) >= uint(len(dense)) || dense[idx].n == 0 {
 				return fmt.Errorf("huffman: symbol %d not in alphabet", s)
 			}
-			w.WriteBits(dense[idx].bits, uint(dense[idx].n))
+			c := dense[idx]
+			if na+uint(c.n) > 64 {
+				w.WriteBits(acc, na)
+				acc, na = 0, 0
+			}
+			acc = acc<<c.n | c.bits
+			na += uint(c.n)
+		}
+		if na > 0 {
+			w.WriteBits(acc, na)
 		}
 		return nil
 	}
@@ -288,6 +463,22 @@ func (e *Encoder) EncodeAll(w *bitstream.Writer, syms []int) error {
 func (e *Encoder) AppendTable(dst []byte) []byte {
 	dst = bitstream.AppendUvarint(dst, uint64(len(e.symbols)))
 	prev := int64(0)
+	if e.dense != nil {
+		// The dense table already covers the alphabet in ascending symbol
+		// order (holes have length 0), so the serialized-by-symbol emission
+		// needs no sort and no per-call list allocation.
+		for i := range e.dense {
+			n := e.dense[i].n
+			if n == 0 {
+				continue
+			}
+			sym := int64(e.denseMin + i)
+			dst = bitstream.AppendVarint(dst, sym-prev)
+			prev = sym
+			dst = append(dst, n)
+		}
+		return dst
+	}
 	// Serialize sorted by symbol so deltas are small and non-negative-ish.
 	type sl struct {
 		sym int
@@ -352,6 +543,9 @@ type Decoder struct {
 	// for codes longer than lutBits, one contiguous region per root prefix.
 	lut []lutEntry
 	sub []lutEntry
+	// pair is the multi-symbol (format v3) root table, built on demand by
+	// buildPair; length zero means "not built for the current code".
+	pair []pairEnt
 }
 
 // ReadTable parses a table serialized by AppendTable from br and returns the
@@ -432,8 +626,11 @@ func (d *Decoder) init(lengths map[int]uint8, sc *DecodeScratch) error {
 // assignment order. Callers must guarantee both properties; init sorts an
 // arbitrary map into it, and the table parser's counting sort preserves it.
 func (d *Decoder) initSorted(list []symLen, sc *DecodeScratch) error {
-	symbols, lut, sub := d.symbols[:0], d.lut, d.sub
-	*d = Decoder{symbols: symbols, lut: lut, sub: sub}
+	// pair keeps its capacity across rebuilds but is truncated: a stale pair
+	// table belongs to the previous code, and v3 decoders call buildPair
+	// again after every table parse.
+	symbols, lut, sub, pair := d.symbols[:0], d.lut, d.sub, d.pair[:0]
+	*d = Decoder{symbols: symbols, lut: lut, sub: sub, pair: pair}
 	if len(list) == 0 {
 		// Stale lut/sub buffers (pooled reuse) are never read: every decode
 		// entry point checks len(d.symbols) first.
@@ -652,6 +849,17 @@ func (d *Decoder) DecodeAllBuf(r *bitstream.Reader, n int, buf []int) ([]int, er
 	if len(d.symbols) == 0 {
 		return nil, ErrCorrupt
 	}
+	if err := d.decodeInto(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// decodeInto fills out with exactly len(out) symbols from r; it is the core
+// loop of DecodeAllBuf, shared with the dual-lane (v3) decoder for draining
+// each lane's tail.
+func (d *Decoder) decodeInto(r *bitstream.Reader, out []int) error {
+	n := len(out)
 	need := uint(lutBits)
 	if m := uint(d.maxLen); m > need {
 		need = m
@@ -682,7 +890,7 @@ func (d *Decoder) DecodeAllBuf(r *bitstream.Reader, n int, buf []int) ([]int, er
 		// Uncovered long code or invalid prefix: one checked decode.
 		s, err := d.Decode(r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = s
 		i++
@@ -690,11 +898,11 @@ func (d *Decoder) DecodeAllBuf(r *bitstream.Reader, n int, buf []int) ([]int, er
 	for ; i < n; i++ {
 		s, err := d.Decode(r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = s
 	}
-	return out, nil
+	return nil
 }
 
 // Scratch holds reusable buffers for EncodeInts so repeated encodes (one
@@ -704,11 +912,20 @@ func (d *Decoder) DecodeAllBuf(r *bitstream.Reader, n int, buf []int) ([]int, er
 type Scratch struct {
 	freq    map[int]uint64
 	counts  []uint64 // dense frequency buffer, indexed by symbol-min
+	counts4 []uint32 // 4-way striped counting stripes (summed into counts)
 	syms    []int    // dense alphabet scratch (ascending)
 	weights []uint64 // weights parallel to syms
 	table   []byte
 	w       bitstream.Writer
+	w2      bitstream.Writer // second lane of the dual-stream (v3) payload
 	stats   EncodeStats
+	// code-builder scratch (see buildSortedSc)
+	keys    []uint64
+	tw      []uint64
+	par     []int32
+	depth   []uint8
+	ordLens []uint8
+	enc     Encoder
 }
 
 // EncodeStats describes the most recent EncodeInts call on a Scratch: the
@@ -795,15 +1012,47 @@ func (s *Scratch) buildFor(syms []int) (*Encoder, error) {
 		var counts []uint64
 		if s != nil && cap(s.counts) >= span {
 			counts = s.counts[:span]
-			clear(counts)
 		} else {
 			counts = make([]uint64, span)
 			if s != nil {
 				s.counts = counts
 			}
 		}
-		for _, v := range syms {
-			counts[v-lo]++
+		if s != nil && len(syms) >= 4*span && len(syms) >= 2048 && len(syms) < 1<<28 {
+			// 4-way striped counting, ported from the byte-section encoder:
+			// quantization bins arrive in long runs of the same symbol, and
+			// four independent stripes break the same-address
+			// increment-to-increment dependency those runs create. The input
+			// bound keeps every uint32 stripe overflow-free, and the summed
+			// counts are exactly the serial counts, so the built code is
+			// byte-identical. Gated on len >= 4*span so clearing and summing
+			// the stripes stays amortized.
+			var c4 []uint32
+			if cap(s.counts4) >= 4*span {
+				c4 = s.counts4[:4*span]
+				clear(c4)
+			} else {
+				c4 = make([]uint32, 4*span)
+				s.counts4 = c4
+			}
+			n4 := len(syms) &^ 3
+			for i := 0; i < n4; i += 4 {
+				c4[syms[i]-lo]++
+				c4[span+syms[i+1]-lo]++
+				c4[2*span+syms[i+2]-lo]++
+				c4[3*span+syms[i+3]-lo]++
+			}
+			for _, v := range syms[n4:] {
+				c4[v-lo]++
+			}
+			for j := 0; j < span; j++ {
+				counts[j] = uint64(c4[j]) + uint64(c4[span+j]) + uint64(c4[2*span+j]) + uint64(c4[3*span+j])
+			}
+		} else {
+			clear(counts)
+			for _, v := range syms {
+				counts[v-lo]++
+			}
 		}
 		var alph []int
 		var wts []uint64
@@ -819,7 +1068,7 @@ func (s *Scratch) buildFor(syms []int) (*Encoder, error) {
 		if s != nil {
 			s.syms, s.weights = alph, wts
 		}
-		return buildSorted(alph, wts)
+		return buildSortedSc(alph, wts, s)
 	}
 	var freq map[int]uint64
 	if s == nil {

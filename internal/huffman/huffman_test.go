@@ -102,8 +102,8 @@ func TestKraftInequality(t *testing.T) {
 			t.Fatal(err)
 		}
 		var kraft float64
-		for s := range e.codes {
-			kraft += 1.0 / float64(uint64(1)<<e.codes[s].n)
+		for _, l := range e.lengths {
+			kraft += 1.0 / float64(uint64(1)<<l)
 		}
 		if kraft > 1.0000001 {
 			t.Fatalf("trial %d: Kraft sum %v > 1", trial, kraft)

@@ -29,6 +29,11 @@ import (
 type LZ struct {
 	// MaxChain bounds the match-finder chain walk; 0 means DefaultMaxChain.
 	MaxChain int
+	// V3 selects the format v3 wire layout and match finder (lzv3.go):
+	// dual-lane Huffman sections, lazy matching, 5-byte hashing, and an
+	// input-sized hash table. v3 streams are not readable by a v2 decoder
+	// (and vice versa); the container's block version selects the right one.
+	V3 bool
 }
 
 const (
@@ -73,6 +78,9 @@ func (z LZ) Compress(src []byte) ([]byte, error) {
 // extended slice. With a reused dst of sufficient capacity the steady-state
 // allocation count is zero.
 func (z LZ) AppendCompress(dst, src []byte) ([]byte, error) {
+	if z.V3 {
+		return z.appendCompressV3(dst, src)
+	}
 	maxChain := z.MaxChain
 	if maxChain <= 0 {
 		maxChain = DefaultMaxChain
@@ -247,7 +255,12 @@ func (z LZ) AppendDecompress(dst, src []byte) ([]byte, error) {
 	if origSize > 1<<34 {
 		return nil, ErrCorrupt
 	}
-	literals, err := st.hs.DecodeBytes(br, st.literals[:0])
+	var literals, seq []byte
+	if z.V3 {
+		literals, err = st.hs.DecodeBytes2(br, st.literals[:0])
+	} else {
+		literals, err = st.hs.DecodeBytes(br, st.literals[:0])
+	}
 	if err != nil {
 		if errors.Is(err, huffman.ErrByteRange) {
 			err = ErrCorrupt
@@ -255,7 +268,11 @@ func (z LZ) AppendDecompress(dst, src []byte) ([]byte, error) {
 		return nil, err
 	}
 	st.literals = literals
-	seq, err := st.hs.DecodeBytes(br, st.seq[:0])
+	if z.V3 {
+		seq, err = st.hs.DecodeBytes2(br, st.seq[:0])
+	} else {
+		seq, err = st.hs.DecodeBytes(br, st.seq[:0])
+	}
 	if err != nil {
 		if errors.Is(err, huffman.ErrByteRange) {
 			err = ErrCorrupt

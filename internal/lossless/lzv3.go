@@ -1,0 +1,242 @@
+package lossless
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"github.com/mdz/mdz/internal/bitstream"
+	"github.com/mdz/mdz/internal/huffman"
+)
+
+// Format v3 of the LZ backend. The wire layout is the v2 one with the two
+// Huffman sections swapped for their dual-lane (format v3) counterparts:
+//
+//	uvarint origSize || EncodeBytes2(literals) || EncodeBytes2(seq)
+//
+// and the match finder is upgraded where v2 was pinned by golden hashes:
+//
+//   - lazy matching: after finding a match at i the finder peeks at i+1 and
+//     defers (emitting src[i] as a literal) whenever the shifted match is
+//     strictly longer — the classic deflate heuristic, worth a few percent
+//     of ratio on MD quantization streams where run boundaries rarely align
+//     with match starts;
+//   - 5-byte hash chains over a 40-bit window (v2 hashes 4 bytes), which
+//     cut chain pollution from the ubiquitous 4-byte near-zero patterns in
+//     delta-encoded sections — every chain candidate already agrees on 5
+//     bytes, so the walk wastes no probes on sub-minimum repeats;
+//   - a head-only 4-byte probe table consulted when the chains come up
+//     empty, so length-4 matches (below the 5-byte hash's reach) are still
+//     coded instead of spilling into literals;
+//   - an input-sized chain table: 2^16 heads below 256 KiB, 2^17 below
+//     2 MiB, 2^18 above, so large blocks keep chains short instead of
+//     piling collisions into the v2 fixed 2^16 table.
+//
+// v3 matches are at least lzMinMatch (4) bytes — same floor as v2; the
+// sequence-triple format is unchanged, so the replay loop in
+// AppendDecompress is shared verbatim.
+
+const (
+	lzMask40        = 1<<40 - 1
+	lzMaxHashBitsV3 = 18
+	lzHash4BitsV3   = 16
+	// lzLazyCutoff: a match this long is taken immediately — deferring it
+	// for a one-byte-shifted alternative cannot pay for the extra find.
+	lzLazyCutoff = 64
+)
+
+// lzHashBitsV3 picks the chain-table width for an input size.
+func lzHashBitsV3(n int) uint {
+	switch {
+	case n < 256<<10:
+		return 16
+	case n < 2<<20:
+		return 17
+	default:
+		return lzMaxHashBitsV3
+	}
+}
+
+// lzHash5 mixes the low 40 bits of v (5 bytes, little-endian) into a
+// hashBits-wide bucket index. The odd 64-bit multiplier spreads the masked
+// word across the high product bits.
+func lzHash5(v uint64, shift uint) uint32 {
+	return uint32((v & lzMask40) * 0x9E3779B185EBCA87 >> shift)
+}
+
+// lzHash4v3 buckets the low 32 bits of v for the head-only fallback table.
+func lzHash4v3(v uint64) uint32 {
+	return (uint32(v) * 2654435761) >> (32 - lzHash4BitsV3)
+}
+
+// lzV3State is the pooled per-call state of the v3 compressor. head is kept
+// at the maximum chain-table size and cleared only up to the width in use;
+// head4 is the 4-byte fallback probe table.
+type lzV3State struct {
+	head     []int32
+	head4    []int32
+	prev     []int32
+	literals []byte
+	seq      []byte
+}
+
+var lzV3Pool = sync.Pool{
+	New: func() any {
+		return &lzV3State{
+			head:  make([]int32, 1<<lzMaxHashBitsV3),
+			head4: make([]int32, 1<<lzHash4BitsV3),
+		}
+	},
+}
+
+// appendCompressV3 is AppendCompress for V3 backends.
+func (z LZ) appendCompressV3(dst, src []byte) ([]byte, error) {
+	maxChain := z.MaxChain
+	if maxChain <= 0 {
+		maxChain = DefaultMaxChain
+	}
+	st := lzV3Pool.Get().(*lzV3State)
+	defer lzV3Pool.Put(st)
+	literals := st.literals[:0]
+	seq := st.seq[:0]
+	// The finder loads 8 bytes at every probed position, so it walks
+	// positions 0..len(src)-8; the unreachable tail is emitted as literals.
+	if end := len(src) - 8; end >= 0 {
+		hashBits := lzHashBitsV3(len(src))
+		shift := 64 - hashBits
+		head := st.head[:1<<hashBits]
+		clear(head)
+		head4 := st.head4
+		clear(head4)
+		prev := st.prev
+		if cap(prev) < len(src) {
+			prev = make([]int32, len(src))
+			st.prev = prev
+		} else {
+			prev = prev[:len(src)]
+		}
+		// insert records position p (p <= end) in the chain and probe
+		// tables.
+		insert := func(p int) {
+			v := binary.LittleEndian.Uint64(src[p:])
+			h := lzHash5(v, shift)
+			prev[p] = head[h]
+			head[h] = int32(p) + 1
+			head4[lzHash4v3(v)] = int32(p) + 1
+		}
+		// find reports the longest candidate match at position i, walking
+		// the 5-byte chain new-to-old with the same window bound and
+		// tail-word prefilter as the v2 finder; when the chain yields
+		// nothing it falls back to the most recent 4-byte probe, so the
+		// match floor stays at lzMinMatch.
+		find := func(i int) (bestLen, bestDist int) {
+			cur := binary.LittleEndian.Uint64(src[i:])
+			lo := i - lzWindow
+			if lo < 0 {
+				lo = 0
+			}
+			var tail4 uint32
+			cand := int(head[lzHash5(cur, shift)]) - 1
+			for depth := 0; cand >= lo && depth < maxChain; depth++ {
+				if (binary.LittleEndian.Uint64(src[cand:])^cur)&lzMask40 == 0 &&
+					(bestLen == 0 || (i+bestLen < len(src) &&
+						binary.LittleEndian.Uint32(src[cand+bestLen-3:]) == tail4)) {
+					l := matchLen(src, cand, i)
+					if l > bestLen {
+						bestLen, bestDist = l, i-cand
+						if i+bestLen >= len(src) {
+							return // provably maximal
+						}
+						tail4 = binary.LittleEndian.Uint32(src[i+bestLen-3:])
+					}
+				}
+				cand = int(prev[cand]) - 1
+			}
+			if bestLen == 0 {
+				if c4 := int(head4[lzHash4v3(cur)]) - 1; c4 >= lo && c4 < i &&
+					binary.LittleEndian.Uint32(src[c4:]) == uint32(cur) {
+					if l := matchLen(src, c4, i); l >= lzMinMatch {
+						bestLen, bestDist = l, i-c4
+					}
+				}
+			}
+			return
+		}
+		litStart := 0
+		ins := 0 // next position not yet inserted into the tables
+		i := 0
+		for i <= end {
+			l0, d0 := find(i)
+			if ins == i {
+				insert(i)
+				ins = i + 1
+			}
+			if l0 < lzMinMatch {
+				i++
+				continue
+			}
+			// Lazy step: while the match is short enough to be worth
+			// second-guessing, peek one byte ahead; a strictly longer match
+			// there demotes src[i] to a literal and restarts the comparison.
+			for l0 < lzLazyCutoff && i+1 <= end {
+				l1, d1 := find(i + 1)
+				if ins == i+1 {
+					insert(i + 1)
+					ins = i + 2
+				}
+				if l1 <= l0 {
+					break
+				}
+				i++
+				l0, d0 = l1, d1
+			}
+			literals = append(literals, src[litStart:i]...)
+			seq = bitstream.AppendUvarint(seq, uint64(i-litStart))
+			seq = bitstream.AppendUvarint(seq, uint64(l0))
+			seq = bitstream.AppendUvarint(seq, uint64(d0))
+			// Insert the matched region (sparsely for long matches).
+			stop := i + l0
+			if stop > end+1 {
+				stop = end + 1
+			}
+			step := 1
+			if l0 > 64 {
+				step = 4
+			}
+			for p := ins; p < stop; p += step {
+				insert(p)
+			}
+			ins = stop
+			i += l0
+			litStart = i
+		}
+		if litStart < len(src) {
+			literals = append(literals, src[litStart:]...)
+			seq = bitstream.AppendUvarint(seq, uint64(len(src)-litStart))
+			seq = bitstream.AppendUvarint(seq, 0)
+			seq = bitstream.AppendUvarint(seq, 0)
+		}
+	} else if len(src) > 0 {
+		literals = append(literals, src...)
+		seq = bitstream.AppendUvarint(seq, uint64(len(src)))
+		seq = bitstream.AppendUvarint(seq, 0)
+		seq = bitstream.AppendUvarint(seq, 0)
+	}
+	st.literals, st.seq = literals, seq
+
+	if hint := len(literals) + len(seq) + (len(literals)+len(seq))>>1 + 1200; cap(dst)-len(dst) < hint {
+		grown := make([]byte, len(dst), len(dst)+hint)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := bitstream.AppendUvarint(dst, uint64(len(src)))
+	var err error
+	out, err = huffman.EncodeBytes2(out, literals)
+	if err != nil {
+		return nil, err
+	}
+	out, err = huffman.EncodeBytes2(out, seq)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package lossless
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func lzV3Corpus(rng *rand.Rand) [][]byte {
+	mk := func(n int, gen func(i int) byte) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = gen(i)
+		}
+		return b
+	}
+	long := make([]byte, 600<<10) // past the 2^17 hash-table threshold
+	for i := range long {
+		long[i] = byte(rng.Intn(7) * 40)
+	}
+	huge := make([]byte, 3<<20) // past the 2^18 threshold
+	for i := range huge {
+		if i%97 == 0 {
+			huge[i] = byte(rng.Intn(256))
+		} else {
+			huge[i] = huge[i%7]
+		}
+	}
+	return [][]byte{
+		nil,
+		{},
+		{42},
+		[]byte("abc"),
+		[]byte("abcdefg"), // below the 8-byte finder window: all literals
+		[]byte("abcdabcdabcdabcdabcd"),
+		bytes.Repeat([]byte{0}, 100000), // long overlapping match
+		bytes.Repeat([]byte("the quick brown fox "), 500),
+		mk(5000, func(i int) byte { return byte(i * i >> 3) }),
+		mk(65536, func(i int) byte { return byte(rng.Intn(4)) }),
+		long,
+		huge,
+	}
+}
+
+func TestLZV3RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	z := LZ{V3: true}
+	var dst, out []byte
+	for ci, src := range lzV3Corpus(rng) {
+		enc, err := z.AppendCompress(dst[:0], src)
+		if err != nil {
+			t.Fatalf("case %d: compress: %v", ci, err)
+		}
+		dec, err := z.AppendDecompress(out[:0], enc)
+		if err != nil {
+			t.Fatalf("case %d: decompress: %v", ci, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("case %d: round trip mismatch (%d bytes in, %d out)", ci, len(src), len(dec))
+		}
+		dst, out = enc, dec
+	}
+}
+
+// TestLZV3Deterministic pins that repeated compression of the same input
+// through pooled state yields identical bytes.
+func TestLZV3Deterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	src := make([]byte, 200000)
+	for i := range src {
+		src[i] = byte(rng.Intn(17) * 15)
+	}
+	z := LZ{V3: true}
+	first, err := z.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		again, err := z.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("iteration %d: nondeterministic output", k)
+		}
+	}
+}
+
+// TestLZV3RatioNotWorse sanity-checks that lazy matching plus dual-lane
+// sections do not cost meaningful ratio against v2 on compressible data.
+func TestLZV3RatioNotWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	src := make([]byte, 1<<20)
+	for i := range src {
+		if i < 8 || rng.Intn(20) == 0 {
+			src[i] = byte(rng.Intn(256))
+		} else {
+			src[i] = src[i-rng.Intn(3)-5]
+		}
+	}
+	v2, err := LZ{}.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := LZ{V3: true}.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow a small constant for per-section overhead, but v3 should be in
+	// the same ballpark or better.
+	if len(v3) > len(v2)+len(v2)/20+256 {
+		t.Fatalf("v3 ratio regressed: v2=%d bytes v3=%d bytes", len(v2), len(v3))
+	}
+	t.Logf("v2=%d v3=%d (input %d)", len(v2), len(v3), len(src))
+}
+
+func TestLZV3CorruptInput(t *testing.T) {
+	z := LZ{V3: true}
+	src := bytes.Repeat([]byte("payload payload "), 1000)
+	enc, err := z.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc); cut += 13 {
+		if _, err := z.Decompress(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	// Flip bits across the stream; decode must error or round-trip-fail
+	// gracefully, never panic.
+	for off := 0; off < len(enc); off += 31 {
+		mut := append([]byte(nil), enc...)
+		mut[off] ^= 0x10
+		dec, err := z.Decompress(mut)
+		if err == nil && len(dec) != len(src) {
+			t.Fatalf("offset %d: silent wrong-length success", off)
+		}
+	}
+}
+
+// FuzzLZV3RoundTrip checks v3 compress/decompress identity and that v2 and
+// v3 reconstruct the same bytes from the same input.
+func FuzzLZV3RoundTrip(f *testing.F) {
+	f.Add([]byte("seed seed seed seed"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{9, 9, 9, 9, 9, 1}, 64))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		z3 := LZ{V3: true}
+		enc3, err := z3.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec3, err := z3.Decompress(enc3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec3, src) {
+			t.Fatal("v3 round trip mismatch")
+		}
+		enc2, err := LZ{}.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec2, err := LZ{}.Decompress(enc2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec2, dec3) {
+			t.Fatal("v2 and v3 reconstructions diverge")
+		}
+	})
+}

@@ -133,6 +133,14 @@ type Config struct {
 	// the output bytes; when false, the instrumentation hooks compile to a
 	// nil check and cost nothing measurable.
 	Telemetry bool
+	// FormatVersion selects the wire format written by this Compressor:
+	// 0 or 2 select format v2 (the default, byte-identical to previous
+	// releases), 3 opts into format v3 — dual-stream entropy sections,
+	// multi-symbol Huffman decode and the v3 dictionary coder — which is
+	// faster to encode and decode but unreadable by pre-v3 builds. Readers
+	// auto-detect the version per stream and per block, so decompression
+	// needs no matching setting.
+	FormatVersion int
 	// Parallel is superseded by Workers and retained for compatibility:
 	// axis-level parallelism is now governed by the worker pool, which
 	// defaults to GOMAXPROCS. Output bytes are unaffected either way.
@@ -176,6 +184,9 @@ func NewCompressor(cfg Config) (*Compressor, error) {
 	}
 	if cfg.Shards < 0 || cfg.Shards > core.MaxShards {
 		return nil, fmt.Errorf("mdz: Shards must be in [0, %d], got %d", core.MaxShards, cfg.Shards)
+	}
+	if v := cfg.FormatVersion; v != 0 && v != 2 && v != 3 {
+		return nil, fmt.Errorf("mdz: FormatVersion must be 0, 2 or 3, got %d", v)
 	}
 	c := &Compressor{cfg: cfg, pool: pool.New(cfg.workers())}
 	if cfg.Telemetry {
@@ -222,6 +233,7 @@ func (c *Compressor) params(axis int, firstBatch [][]float64) (core.Params, erro
 		Shards:        c.cfg.Shards,
 		Pool:          c.pool,
 		Tel:           core.EncoderInstruments(c.reg, axisName(axis)),
+		FormatVersion: c.cfg.FormatVersion,
 	}, nil
 }
 

@@ -37,6 +37,10 @@ import (
 const (
 	streamMagic   = "MDZW" // v1: length-prefixed blocks, no recovery metadata
 	streamMagicV2 = "MDZ2" // v2: sync-framed blocks, checkpoints, trailer
+	// v3 uses the exact v2 framing (sync markers, checkpoints, trailer,
+	// resync) but marks that the frames carry format-v3 blocks, which
+	// pre-v3 builds cannot decode; the distinct magic fails them fast.
+	streamMagicV3 = "MDZ3"
 )
 
 // Frame types of the v2 container.
@@ -136,11 +140,15 @@ func (w *Writer) WriteFrame(f Frame) error {
 		return errors.New("mdz: write after Close")
 	}
 	if !w.opened {
-		if _, err := w.w.WriteString(streamMagicV2); err != nil {
+		magic := streamMagicV2
+		if w.c.cfg.FormatVersion == 3 {
+			magic = streamMagicV3
+		}
+		if _, err := w.w.WriteString(magic); err != nil {
 			return w.fail(err)
 		}
-		w.compBytes += int64(len(streamMagicV2))
-		w.tel.framingBytes.Add(int64(len(streamMagicV2)))
+		w.compBytes += int64(len(magic))
+		w.tel.framingBytes.Add(int64(len(magic)))
 		w.opened = true
 	}
 	w.pending = append(w.pending, f)
@@ -454,7 +462,9 @@ func (r *Reader) open() error {
 	switch magic {
 	case streamMagic:
 		r.v2 = false
-	case streamMagicV2:
+	case streamMagicV2, streamMagicV3:
+		// v3 streams reuse the v2 framing; the block codecs inside each
+		// frame self-describe, so the reader path is shared.
 		r.v2 = true
 	default:
 		return fmt.Errorf("%w: not an MDZ stream (magic %q)", ErrCorruptBlock, magic)
