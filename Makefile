@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare bench-lossless fuzz-short
+.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare bench-lossless fuzz-short chaos
 
 all: build
 
@@ -43,6 +43,7 @@ FUZZTIME ?= 30s
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzStreamReader$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointUnmarshal$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeBatch$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzV3Differential$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzReaderDifferential$$' -fuzztime $(FUZZTIME) ./internal/bitstream
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeDifferential$$' -fuzztime $(FUZZTIME) ./internal/huffman
@@ -50,6 +51,16 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzDualRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/huffman
 	$(GO) test -run '^$$' -fuzz '^FuzzLZDifferential$$' -fuzztime $(FUZZTIME) ./internal/lossless
 	$(GO) test -run '^$$' -fuzz '^FuzzLZV3RoundTrip$$' -fuzztime $(FUZZTIME) ./internal/lossless
+
+# Fault-containment sweep, longer than the CI gate: the crash-consistency
+# matrix at every output byte (MDZ_CHAOS_SWEEP), plus the stream fault
+# matrix, cancellation, panic-isolation and budget tests, all under the
+# race detector and repeated to vary goroutine schedules.
+chaos:
+	MDZ_CHAOS_SWEEP=1 $(GO) test -race -count=2 \
+		-run 'CrashMatrix|StreamFault|StreamFragmented|Resync|Cancel|ContextDeadline|Panic|Budget|MaxDecode|NoFsync|Salvage' \
+		. ./cmd/mdzc
+	$(GO) test -race -count=2 ./internal/faultio ./internal/safeio ./internal/pool ./internal/budget
 
 # Dictionary-coder hot path: LZ and byte-Huffman micro-benchmarks (with
 # alloc counts), the pooled flate/zlib writers, and the pipeline-payload

@@ -1,0 +1,176 @@
+package mdz
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+)
+
+// buildFramedStream compresses frames into a v2 framed stream for tests.
+func buildFramedStream(t *testing.T, frames []Frame, interval int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Config{ErrorBound: 1e-3, BufferSize: 4, CheckpointInterval: interval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMaxDecodeBytesGovernsDecompressBatch checks the decode memory
+// governor end to end: a starved budget rejects a pristine block with the
+// typed sentinel (and counts it), while a generous one decodes normally.
+func TestMaxDecodeBytesGovernsDecompressBatch(t *testing.T) {
+	frames := makeFrames(8, 512, 63)
+	c, err := NewCompressor(Config{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := c.CompressBatch(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDecompressorWith(DecompressorOptions{MaxDecodeBytes: 64, Telemetry: true})
+	_, err = d.DecompressBatch(blk)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("starved decode err = %v, want ErrBudgetExceeded", err)
+	}
+	if errors.Is(err, ErrCorruptBlock) {
+		t.Error("budget rejection misclassified as corruption")
+	}
+	if got := d.Telemetry().Counters["budget.rejections"]; got == 0 {
+		t.Error("budget.rejections not counted")
+	}
+
+	d2 := NewDecompressorWith(DecompressorOptions{MaxDecodeBytes: 1 << 30})
+	out, err := d2.DecompressBatch(blk)
+	if err != nil {
+		t.Fatalf("generous budget rejected a pristine block: %v", err)
+	}
+	if len(out) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(out), len(frames))
+	}
+}
+
+// TestBudgetReleasedBetweenBlocks: the budget governs in-flight decode
+// state, not cumulative throughput — a ceiling that fits one block must
+// keep fitting any number of sequential blocks.
+func TestBudgetReleasedBetweenBlocks(t *testing.T) {
+	frames := makeFrames(12, 256, 66)
+	c, err := NewCompressor(Config{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecompressorWith(DecompressorOptions{MaxDecodeBytes: 1 << 20})
+	for i, b := range Batch(frames, 4) {
+		blk, err := c.CompressBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.DecompressBatch(blk); err != nil {
+			t.Fatalf("block %d rejected — budget leaked across blocks: %v", i, err)
+		}
+	}
+}
+
+// TestReaderMaxDecodeBytes drives the governor through the stream Reader:
+// strict mode surfaces the typed rejection, Resync mode accounts for the
+// undeliverable frames and terminates cleanly.
+func TestReaderMaxDecodeBytes(t *testing.T) {
+	frames := makeFrames(8, 512, 67)
+	stream := buildFramedStream(t, frames, 1)
+
+	r := NewReaderWith(bytes.NewReader(stream), ReaderOptions{MaxDecodeBytes: 64})
+	if _, err := r.ReadFrame(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("strict err = %v, want ErrBudgetExceeded", err)
+	}
+
+	r = NewReaderWith(bytes.NewReader(stream), ReaderOptions{MaxDecodeBytes: 64, Resync: true})
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("resync ReadAll: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("delivered %d frames under a starved budget", len(got))
+	}
+	if st := r.SalvageStats(); st.CorruptFrames == 0 {
+		t.Errorf("starved frames unaccounted: %+v", st)
+	}
+
+	r = NewReaderWith(bytes.NewReader(stream), ReaderOptions{MaxDecodeBytes: 1 << 30})
+	got, err = r.ReadAll()
+	if err != nil || len(got) != len(frames) {
+		t.Fatalf("generous budget: %d frames, %v; want %d, nil", len(got), err, len(frames))
+	}
+}
+
+// TestReaderContextCancelled: a Reader with a cancelled context reports the
+// cancellation itself, not a corruption sentinel — in both modes.
+func TestReaderContextCancelled(t *testing.T) {
+	frames := makeFrames(8, 128, 68)
+	stream := buildFramedStream(t, frames, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, resync := range []bool{false, true} {
+		r := NewReaderWith(bytes.NewReader(stream), ReaderOptions{Context: ctx, Resync: resync})
+		_, err := r.ReadFrame()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("resync=%v: err = %v, want context.Canceled", resync, err)
+		}
+		if errors.Is(err, ErrCorruptBlock) {
+			t.Errorf("resync=%v: cancellation misclassified as corruption", resync)
+		}
+	}
+}
+
+// TestReaderResyncAllSyncBytes: a stream body that is nothing but repeated
+// sync markers is the worst case for the resync scanner — every offset
+// looks like a frame start and every parse fails. The reader must
+// terminate, deliver nothing and account the damage.
+func TestReaderResyncAllSyncBytes(t *testing.T) {
+	body := bytes.Repeat(frameSync[:], 4096)
+	data := append([]byte(streamMagicV2), body...)
+	r := NewReaderWith(bytes.NewReader(data), ReaderOptions{Resync: true})
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("conjured %d frames out of sync markers", len(got))
+	}
+	st := r.SalvageStats()
+	if st.CorruptFrames == 0 || !st.Truncated {
+		t.Errorf("damage unaccounted: %+v", st)
+	}
+	// Strict mode must terminate with a typed failure just as promptly.
+	r = NewReaderWith(bytes.NewReader(data), ReaderOptions{})
+	if _, err := r.ReadFrame(); !errors.Is(err, ErrCorruptBlock) {
+		t.Fatalf("strict err = %v, want ErrCorruptBlock", err)
+	}
+}
+
+// TestReaderEmptyAndTinyStreams: zero-byte and sub-magic inputs end with
+// io.EOF or a typed truncation, never a hang or panic, in both modes.
+func TestReaderEmptyAndTinyStreams(t *testing.T) {
+	for _, resync := range []bool{false, true} {
+		r := NewReaderWith(bytes.NewReader(nil), ReaderOptions{Resync: resync})
+		if _, err := r.ReadFrame(); !errors.Is(err, io.EOF) {
+			t.Fatalf("resync=%v: empty stream err = %v, want io.EOF", resync, err)
+		}
+		r = NewReaderWith(bytes.NewReader([]byte("MD")), ReaderOptions{Resync: resync})
+		if _, err := r.ReadFrame(); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("resync=%v: cut magic err = %v, want ErrTruncated", resync, err)
+		}
+	}
+}

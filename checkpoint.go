@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"github.com/mdz/mdz/internal/bitstream"
+	"github.com/mdz/mdz/internal/budget"
 	"github.com/mdz/mdz/internal/core"
 	"github.com/mdz/mdz/internal/kmeans"
 	"github.com/mdz/mdz/internal/lossless"
@@ -89,6 +90,14 @@ func (st *CheckpointState) MarshalBinary() ([]byte, error) {
 // UnmarshalBinary inverts MarshalBinary. Malformed payloads report
 // ErrCorruptBlock.
 func (st *CheckpointState) UnmarshalBinary(data []byte) error {
+	return st.unmarshalTx(data, nil)
+}
+
+// unmarshalTx is UnmarshalBinary charging decode-side allocations (the
+// per-axis reference snapshots and their unpacked byte images) against tx.
+// A checkpoint claiming reference lengths past the budget is rejected with
+// ErrBudgetExceeded before the allocations happen; nil tx is unlimited.
+func (st *CheckpointState) unmarshalTx(data []byte, tx *budget.Tx) error {
 	br := bitstream.NewByteReader(data)
 	ver, err := br.ReadByte()
 	if err != nil || (ver != checkpointVersion && ver != checkpointVersionV3) {
@@ -135,12 +144,20 @@ func (st *CheckpointState) UnmarshalBinary(data []byte) error {
 		if err != nil || n > 1<<33 {
 			return fmt.Errorf("%w: bad checkpoint reference length", ErrCorruptBlock)
 		}
+		// Charge the float slice up front; the packed bytes' own expansion is
+		// charged inside the budget-aware backend.
+		if err := tx.Reserve(8 * int64(n)); err != nil {
+			return err
+		}
 		packed, err := br.ReadSection()
 		if err != nil {
 			return mapBlockErr(err)
 		}
-		refBytes, err := backend.Decompress(packed)
+		refBytes, err := lossless.DecompressTx(backend, packed, tx)
 		if err != nil {
+			if errors.Is(err, ErrBudgetExceeded) {
+				return err
+			}
 			return fmt.Errorf("%w: checkpoint reference: %w", ErrCorruptBlock, err)
 		}
 		if uint64(len(refBytes)) != 8*n {

@@ -18,11 +18,13 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	mdz "github.com/mdz/mdz"
 	"github.com/mdz/mdz/internal/dataset"
+	"github.com/mdz/mdz/internal/safeio"
 )
 
 const fileMagic = "MDZC"
@@ -35,9 +37,16 @@ type cliFlags struct {
 	eps                              float64
 	bs, checkpoint, format           int
 	salvage                          bool
+	noFsync                          bool
+	maxDecode                        int64
 
 	metricsAddr, cpuprofile, memprofile, statsJSON string
 }
+
+// testOutputWrap, when non-nil, wraps the staged output writer of every
+// safeio commit — the fault-injection seam the crash-consistency tests use
+// to kill a write at an exact byte. Production runs leave it nil.
+var testOutputWrap func(io.Writer) io.Writer
 
 // validateFlags rejects meaningless flag combinations; any error is a usage
 // error (exit code 2).
@@ -72,6 +81,15 @@ func validateFlags(f *cliFlags) error {
 	if f.info != "" && f.out != "" {
 		return fmt.Errorf("-info writes no output; drop -o")
 	}
+	if f.noFsync && f.compress == "" && f.decompress == "" {
+		return fmt.Errorf("-no-fsync only applies to commands that write output; pair it with -c or -d")
+	}
+	if f.maxDecode < 0 {
+		return fmt.Errorf("-max-decode must be non-negative, got %d", f.maxDecode)
+	}
+	if f.maxDecode != 0 && f.compress != "" {
+		return fmt.Errorf("-max-decode bounds decoding; pair it with -d, -info or -fsck")
+	}
 	return nil
 }
 
@@ -88,6 +106,8 @@ func main() {
 	flag.IntVar(&f.checkpoint, "checkpoint", 0, "with -c: write a recoverable framed stream with a checkpoint every N blocks (0 = one-shot format)")
 	flag.IntVar(&f.format, "format", 2, "with -c: wire-format version to write (2 = default, 3 = dual-lane entropy coding; not readable by pre-v3 builds)")
 	flag.BoolVar(&f.salvage, "salvage", false, "with -d: recover everything readable from a corrupt stream instead of failing")
+	flag.BoolVar(&f.noFsync, "no-fsync", false, "skip fsync when writing output: faster, but a machine crash can lose the file (the atomic temp-file+rename commit is kept either way)")
+	flag.Int64Var(&f.maxDecode, "max-decode", 0, "with -d/-info/-fsck: cap decode-side memory driven by claimed sizes in the input, in bytes (0 = unlimited); over-budget inputs are rejected, not decoded")
 	flag.StringVar(&f.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars and pprof /debug/pprof/ on this address while the command runs")
 	flag.StringVar(&f.cpuprofile, "cpuprofile", "", "write a CPU profile to this path")
 	flag.StringVar(&f.memprofile, "memprofile", "", "write a heap profile to this path on exit")
@@ -110,9 +130,9 @@ func main() {
 	case f.decompress != "":
 		err = doDecompress(&f, o)
 	case f.info != "":
-		err = doInfo(f.info, o)
+		err = doInfo(&f, o)
 	case f.fsck != "":
-		err = doFsck(f.fsck, o)
+		err = doFsck(&f, o)
 	}
 	o.finish()
 	if err != nil {
@@ -195,7 +215,7 @@ func doCompress(f *cliFlags, o *obs) error {
 	buf = appendString(buf, d.Meta.Code)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(stream)))
 	buf = append(buf, stream...)
-	if err := os.WriteFile(out, buf, 0o644); err != nil {
+	if err := safeio.WriteFileBytes(out, buf, safeio.Options{NoSync: f.noFsync, WrapWriter: testOutputWrap}); err != nil {
 		return err
 	}
 	o.report = statsReport{
@@ -257,12 +277,12 @@ func parseContainer(path string) (meta [3]string, stream []byte, err error) {
 // streams via the stream Reader. Salvage mode (framed streams only)
 // recovers what it can and returns the reader's accounting alongside the
 // frames.
-func decodeStream(stream []byte, salvage bool, o *obs) ([]mdz.Frame, *mdz.SalvageStats, error) {
+func decodeStream(stream []byte, salvage bool, maxDecode int64, o *obs) ([]mdz.Frame, *mdz.SalvageStats, error) {
 	if len(stream) >= 4 {
 		switch string(stream[:4]) {
 		case "MDZW", "MDZ2", "MDZ3":
 			r := mdz.NewReaderWith(bytes.NewReader(stream),
-				mdz.ReaderOptions{Resync: salvage, Telemetry: o.enabled()})
+				mdz.ReaderOptions{Resync: salvage, Telemetry: o.enabled(), MaxDecodeBytes: maxDecode})
 			if err := o.attach(r.TelemetryRegistry()); err != nil {
 				return nil, nil, err
 			}
@@ -277,7 +297,7 @@ func decodeStream(stream []byte, salvage bool, o *obs) ([]mdz.Frame, *mdz.Salvag
 	if salvage {
 		return nil, nil, fmt.Errorf("-salvage requires a framed stream (got a one-shot payload)")
 	}
-	d := mdz.NewDecompressorWith(mdz.DecompressorOptions{Telemetry: o.enabled()})
+	d := mdz.NewDecompressorWith(mdz.DecompressorOptions{Telemetry: o.enabled(), MaxDecodeBytes: maxDecode})
 	if err := o.attach(d.TelemetryRegistry()); err != nil {
 		return nil, nil, err
 	}
@@ -331,7 +351,7 @@ func doDecompress(f *cliFlags, o *obs) error {
 	if err != nil {
 		return err
 	}
-	frames, stats, err := decodeStream(stream, salvage, o)
+	frames, stats, err := decodeStream(stream, salvage, f.maxDecode, o)
 	if err != nil {
 		return err
 	}
@@ -345,7 +365,7 @@ func doDecompress(f *cliFlags, o *obs) error {
 	for _, f := range frames {
 		d.Frames = append(d.Frames, dataset.Frame{X: f.X, Y: f.Y, Z: f.Z})
 	}
-	if err := saveTrajectory(d, out); err != nil {
+	if err := saveTrajectory(d, out, f.noFsync); err != nil {
 		return err
 	}
 	o.report = statsReport{
@@ -361,14 +381,16 @@ func doDecompress(f *cliFlags, o *obs) error {
 // any output: clean streams report their totals and exit 0; damaged ones
 // report the first corrupt block's index and byte offset, plus what a
 // salvage pass would recover, and exit non-zero.
-func doFsck(in string, o *obs) error {
+func doFsck(f *cliFlags, o *obs) error {
+	in := f.fsck
 	_, stream, err := parseContainerLenient(in)
 	if err != nil {
 		return err
 	}
 	if len(stream) >= 4 && string(stream[:4]) == "MDZF" {
 		// One-shot payload: no framing to walk, so verify by decoding.
-		frames, err := mdz.Decompress(stream)
+		d := mdz.NewDecompressorWith(mdz.DecompressorOptions{MaxDecodeBytes: f.maxDecode})
+		frames, err := d.Decompress(stream)
 		if err != nil {
 			fmt.Fprintf(o.humanOut(), "%s: one-shot payload FAILED verification: %v\n", in, err)
 			return fmt.Errorf("fsck: %s is corrupt", in)
@@ -377,7 +399,7 @@ func doFsck(in string, o *obs) error {
 		return nil
 	}
 	r := mdz.NewReaderWith(bytes.NewReader(stream),
-		mdz.ReaderOptions{Resync: true, Telemetry: o.enabled()})
+		mdz.ReaderOptions{Resync: true, Telemetry: o.enabled(), MaxDecodeBytes: f.maxDecode})
 	if err := o.attach(r.TelemetryRegistry()); err != nil {
 		return err
 	}
@@ -403,12 +425,13 @@ func doFsck(in string, o *obs) error {
 	return fmt.Errorf("fsck: %s is corrupt", in)
 }
 
-func doInfo(in string, o *obs) error {
+func doInfo(f *cliFlags, o *obs) error {
+	in := f.info
 	meta, stream, err := parseContainer(in)
 	if err != nil {
 		return err
 	}
-	frames, _, err := decodeStream(stream, false, o)
+	frames, _, err := decodeStream(stream, false, f.maxDecode, o)
 	if err != nil {
 		return err
 	}
@@ -438,18 +461,13 @@ func loadTrajectory(path string) (*dataset.Dataset, error) {
 	return dataset.Load(path)
 }
 
-// saveTrajectory writes .mdzd binary or .xyz text by extension.
-func saveTrajectory(d *dataset.Dataset, path string) error {
+// saveTrajectory writes .mdzd binary or .xyz text by extension, committing
+// through safeio so a crash mid-write never leaves a torn file under the
+// output path.
+func saveTrajectory(d *dataset.Dataset, path string, noFsync bool) error {
+	opts := safeio.Options{NoSync: noFsync, WrapWriter: testOutputWrap}
 	if strings.HasSuffix(strings.ToLower(path), ".xyz") {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := d.WriteXYZ(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return safeio.WriteFile(path, opts, d.WriteXYZ)
 	}
-	return d.Save(path)
+	return safeio.WriteFile(path, opts, d.Write)
 }

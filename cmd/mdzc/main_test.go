@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"math"
 	"net/http"
@@ -10,7 +12,9 @@ import (
 	"strings"
 	"testing"
 
+	mdz "github.com/mdz/mdz"
 	"github.com/mdz/mdz/internal/dataset"
+	"github.com/mdz/mdz/internal/faultio"
 )
 
 // TestValidateFlags covers the flag-combination holes: each invalid pairing
@@ -39,6 +43,13 @@ func TestValidateFlags(t *testing.T) {
 		{"format v2 anywhere", cliFlags{decompress: "in", out: "out", format: 2}, false},
 		{"format v3 without -c", cliFlags{decompress: "in", out: "out", format: 3}, true},
 		{"format out of range", cliFlags{compress: "in", out: "out", format: 5}, true},
+		{"no-fsync with -c", cliFlags{compress: "in", out: "out", noFsync: true}, false},
+		{"no-fsync with -d", cliFlags{decompress: "in", out: "out", noFsync: true}, false},
+		{"no-fsync without output", cliFlags{fsck: "in", noFsync: true}, true},
+		{"max-decode with -d", cliFlags{decompress: "in", out: "out", maxDecode: 1 << 20}, false},
+		{"max-decode with -fsck", cliFlags{fsck: "in", maxDecode: 1 << 20}, false},
+		{"max-decode with -c", cliFlags{compress: "in", out: "out", maxDecode: 1 << 20}, true},
+		{"max-decode negative", cliFlags{decompress: "in", out: "out", maxDecode: -1}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -175,6 +186,17 @@ func TestStatsJSONShape(t *testing.T) {
 	if rep.Telemetry == nil || rep.Telemetry.Counters["compress.quant.values"] == 0 {
 		t.Error("raw telemetry snapshot missing or empty")
 	}
+	// The fault-containment counters must be present in the document even
+	// when zero — consumers rely on the shape, not on lucky incidents.
+	var shape map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &shape); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"pool_panics_recovered", "budget_rejections", "cancelled_runs"} {
+		if _, ok := shape[key]; !ok {
+			t.Errorf("stats-json missing %q on a clean run", key)
+		}
+	}
 }
 
 // TestMetricsEndpoint drives a compression with -metrics-addr on a loopback
@@ -235,5 +257,115 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
 		t.Error("pprof index did not render")
+	}
+}
+
+// TestCompressCrashMatrix kills the output write of mdzc -c at a sweep of
+// byte offsets and checks the crash-consistency contract: the output path
+// is either absent or holds the complete, -fsck-clean file — never a torn
+// prefix under the final name.
+func TestCompressCrashMatrix(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestTrajectory(t, dir)
+	out := filepath.Join(dir, "out.mdz")
+	f := &cliFlags{compress: in, out: out, eps: 1e-3, bs: 4, method: "ADP", checkpoint: 2}
+
+	// Clean run first, to learn the deterministic output size.
+	if err := doCompress(f, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(full))
+	if err := os.Remove(out); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { testOutputWrap = nil }()
+
+	// Sweep kill points across the write: every byte of the first 64 (the
+	// magic and header region), then strided coverage of the rest — or
+	// every single byte when MDZ_CHAOS_SWEEP is set (the `make chaos`
+	// mode).
+	stride := total / 61
+	if stride < 1 || os.Getenv("MDZ_CHAOS_SWEEP") != "" {
+		stride = 1
+	}
+	var kills []int64
+	for n := int64(0); n < total && n < 64; n++ {
+		kills = append(kills, n)
+	}
+	for n := int64(64); n < total; n += stride {
+		kills = append(kills, n)
+	}
+	for _, n := range kills {
+		n := n
+		testOutputWrap = func(w io.Writer) io.Writer { return faultio.NewWriter(w).AbortAt(n) }
+		if err := doCompress(f, &obs{}); !errors.Is(err, faultio.ErrAborted) {
+			t.Fatalf("kill at byte %d: err = %v, want ErrAborted", n, err)
+		}
+		if _, serr := os.Stat(out); !os.IsNotExist(serr) {
+			t.Fatalf("kill at byte %d left a file under the output path", n)
+		}
+	}
+
+	// A crash after the last payload byte commits a complete file that
+	// passes verification.
+	testOutputWrap = func(w io.Writer) io.Writer { return faultio.NewWriter(w).AbortAt(total + 1) }
+	if err := doCompress(f, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil || int64(len(got)) != total {
+		t.Fatalf("committed %d bytes, %v; want the full %d", len(got), err, total)
+	}
+	testOutputWrap = nil
+	if err := doFsck(&cliFlags{fsck: out}, &obs{}); err != nil {
+		t.Fatalf("committed file fails -fsck: %v", err)
+	}
+}
+
+// TestNoFsyncRoundTrip: -no-fsync output must be byte-identical to the
+// synced path — the flag only trades crash durability, never content.
+func TestNoFsyncRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestTrajectory(t, dir)
+	synced, unsynced := filepath.Join(dir, "a.mdz"), filepath.Join(dir, "b.mdz")
+	if err := doCompress(&cliFlags{compress: in, out: synced, eps: 1e-3, bs: 4, method: "ADP"}, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := doCompress(&cliFlags{compress: in, out: unsynced, eps: 1e-3, bs: 4, method: "ADP", noFsync: true}, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(synced)
+	b, _ := os.ReadFile(unsynced)
+	if !bytes.Equal(a, b) {
+		t.Error("-no-fsync changed the output bytes")
+	}
+}
+
+// TestMaxDecodeFlag: a starved -max-decode rejects decompression with the
+// budget sentinel and leaves no output file; a generous cap round-trips.
+func TestMaxDecodeFlag(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestTrajectory(t, dir)
+	cmp := filepath.Join(dir, "traj.mdz")
+	if err := doCompress(&cliFlags{compress: in, out: cmp, eps: 1e-3, bs: 4, method: "ADP"}, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	restored := filepath.Join(dir, "restored.mdzd")
+	err := doDecompress(&cliFlags{decompress: cmp, out: restored, maxDecode: 64}, &obs{})
+	if !errors.Is(err, mdz.ErrBudgetExceeded) {
+		t.Fatalf("starved -max-decode err = %v, want ErrBudgetExceeded", err)
+	}
+	if _, serr := os.Stat(restored); !os.IsNotExist(serr) {
+		t.Fatal("rejected decode still wrote an output file")
+	}
+	if err := doDecompress(&cliFlags{decompress: cmp, out: restored, maxDecode: 1 << 30}, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := dataset.Load(restored); err != nil || d.M() != 12 {
+		t.Fatalf("round trip under generous budget: %v", err)
 	}
 }

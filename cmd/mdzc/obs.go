@@ -57,8 +57,15 @@ type statsReport struct {
 	StageNS map[string]int64 `json:"stage_ns"`
 	// ADPWins counts evaluation-round winners per axis and method
 	// (e.g. "x.vqt" -> 3).
-	ADPWins   map[string]int64       `json:"adp_wins"`
-	Telemetry *mdz.TelemetrySnapshot `json:"telemetry"`
+	ADPWins map[string]int64 `json:"adp_wins"`
+	// Fault-containment counters, always present (zero on a clean run) so
+	// report consumers can rely on their shape: worker panics recovered by
+	// the pool, decode-memory budget rejections, and runs that ended in
+	// context cancellation.
+	PoolPanicsRecovered int64                  `json:"pool_panics_recovered"`
+	BudgetRejections    int64                  `json:"budget_rejections"`
+	CancelledRuns       int64                  `json:"cancelled_runs"`
+	Telemetry           *mdz.TelemetrySnapshot `json:"telemetry"`
 }
 
 // enabled reports whether any surface needs Config.Telemetry on.
@@ -195,6 +202,9 @@ func (o *obs) writeStats() error {
 		if vals := rep.Telemetry.Counters["compress.quant.values"]; vals > 0 {
 			rep.OutOfScopeRate = float64(rep.Telemetry.Counters["compress.quant.outliers"]) / float64(vals)
 		}
+		rep.PoolPanicsRecovered = rep.Telemetry.Counters["pool.panics_recovered"]
+		rep.BudgetRejections = rep.Telemetry.Counters["budget.rejections"]
+		rep.CancelledRuns = rep.Telemetry.Counters["pipeline.cancelled_runs"]
 	}
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

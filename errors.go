@@ -1,10 +1,12 @@
 package mdz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"github.com/mdz/mdz/internal/bitstream"
+	"github.com/mdz/mdz/internal/budget"
 	"github.com/mdz/mdz/internal/core"
 )
 
@@ -23,6 +25,15 @@ var (
 	ErrTruncated    = errors.New("mdz: truncated input")
 	ErrStateDesync  = errors.New("mdz: decoder state desync")
 )
+
+// ErrBudgetExceeded is the sentinel matched by every rejection of the
+// decode memory governor (Config.MaxDecodeBytes and friends): the input's
+// claimed sizes would push the decoder's in-flight allocations past the
+// configured ceiling. It deliberately is NOT a corruption sentinel — the
+// same input may decode fine under a larger budget — and it passes through
+// mapBlockErr unwrapped so callers can distinguish resource rejection from
+// damaged data.
+var ErrBudgetExceeded = budget.ErrExceeded
 
 // ErrNonFinite is returned by CompressBatch (and everything built on it)
 // when the first batch of an axis contains ±Inf. Infinities would poison
@@ -57,6 +68,13 @@ func (e *CorruptBlockError) Unwrap() error { return e.Cause }
 // Is reports equivalence to the ErrCorruptBlock sentinel.
 func (e *CorruptBlockError) Is(target error) bool { return target == ErrCorruptBlock }
 
+// isCancellation reports a context cancellation or deadline expiry —
+// environment outcomes that must never be reclassified as input
+// corruption, and that surface even from a Resync reader.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // mapBlockErr classifies an error from the block decode path under the
 // package sentinels: out-of-order blocks and state mismatches become
 // ErrStateDesync, short inputs ErrTruncated, everything else
@@ -66,6 +84,10 @@ func mapBlockErr(err error) error {
 	case err == nil:
 		return nil
 	case errors.Is(err, ErrCorruptBlock) || errors.Is(err, ErrTruncated) || errors.Is(err, ErrStateDesync):
+		return err
+	case errors.Is(err, ErrBudgetExceeded) || isCancellation(err):
+		// Environment errors, not input errors: budget rejections and
+		// cancellations must stay matchable as exactly what they are.
 		return err
 	case errors.Is(err, core.ErrOrder) || errors.Is(err, core.ErrState):
 		return fmt.Errorf("%w: %w", ErrStateDesync, err)

@@ -28,12 +28,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"time"
 
 	"github.com/mdz/mdz/internal/bitstream"
+	"github.com/mdz/mdz/internal/budget"
 	"github.com/mdz/mdz/internal/huffman"
 	"github.com/mdz/mdz/internal/kmeans"
 	"github.com/mdz/mdz/internal/lossless"
@@ -173,6 +175,19 @@ type Params struct {
 	// the v3 dictionary coder). Decoders read all versions regardless of
 	// this setting.
 	FormatVersion int
+	// Budget, when non-nil, bounds the decoder's in-flight allocations that
+	// are driven by claimed lengths in untrusted blocks (output matrices,
+	// entropy payload counts, code tables, backend original sizes). Each
+	// DecodeBatch opens one transaction against it; rejections surface as
+	// errors wrapping budget.ErrExceeded, never as corruption. Encoding is
+	// not governed — encoder allocations are proportional to caller input.
+	Budget *budget.Budget
+	// FaultHook, when non-nil, is called at the start of every shard encode
+	// (op "encode_shard") and decode (op "decode_shard") with the shard
+	// index. It is a fault-injection seam for tests — a hook that panics
+	// exercises the pool's panic containment; one that cancels a context
+	// exercises cooperative cancellation. Production configs leave it nil.
+	FaultHook func(op string, shard int)
 }
 
 func (p *Params) fill() error {
@@ -235,7 +250,10 @@ const (
 var ErrCorrupt = errors.New("core: corrupt MDZ block")
 
 // corrupt wraps a low-level parse error so errors.Is(err, ErrCorrupt)
-// holds while the underlying cause stays inspectable.
+// holds while the underlying cause stays inspectable. Budget rejections
+// and context cancellations pass through unwrapped: they describe the
+// decoder's environment, not the input bytes, and must stay matchable as
+// exactly what they are.
 func corrupt(err error) error {
 	if err == nil {
 		return nil
@@ -243,7 +261,18 @@ func corrupt(err error) error {
 	if errors.Is(err, ErrCorrupt) {
 		return err
 	}
+	if errors.Is(err, budget.ErrExceeded) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
 	return fmt.Errorf("%w: %w", ErrCorrupt, err)
+}
+
+// ctxErr reports ctx's cancellation state; a nil ctx never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // ErrOrder is returned when a Decoder receives blocks out of order.
@@ -322,6 +351,17 @@ func (e *Encoder) shardCount(n int) int {
 // length) into a self-describing block. Snapshots are consumed in
 // simulation order; the batch must not be empty.
 func (e *Encoder) EncodeBatch(batch [][]float64) ([]byte, error) {
+	return e.EncodeBatchContext(nil, batch)
+}
+
+// EncodeBatchContext is EncodeBatch with cooperative cancellation: shard
+// row loops and the work pool poll ctx, so a cancelled multi-gigabyte
+// batch aborts within a few row kernels and returns ctx.Err(). The
+// encoder's cross-batch state (level model, MT reference, batch counter)
+// is only advanced after a fully successful encode, so a cancelled call
+// leaves the encoder exactly as it was — retrying the same batch produces
+// the same bytes. A nil ctx disables cancellation.
+func (e *Encoder) EncodeBatchContext(ctx context.Context, batch [][]float64) ([]byte, error) {
 	if len(batch) == 0 {
 		return nil, errors.New("core: empty batch")
 	}
@@ -354,9 +394,9 @@ func (e *Encoder) EncodeBatch(batch [][]float64) ([]byte, error) {
 		methods := [...]Method{VQ, VQT, MT}
 		var blks [3][]byte
 		var r0s [3][]float64
-		err := e.p.Pool.Run(len(methods), func(i int) error {
+		err := e.p.Pool.RunContext(ctx, len(methods), func(i int) error {
 			var terr error
-			blks[i], r0s[i], terr = e.encodeWith(methods[i], batch)
+			blks[i], r0s[i], terr = e.encodeWith(ctx, methods[i], batch)
 			return terr
 		})
 		if err != nil {
@@ -379,7 +419,7 @@ func (e *Encoder) EncodeBatch(batch [][]float64) ([]byte, error) {
 			m = e.p.Method
 		}
 		var err error
-		out, recon0, err = e.encodeWith(m, batch)
+		out, recon0, err = e.encodeWith(ctx, m, batch)
 		if err != nil {
 			return nil, err
 		}
@@ -419,7 +459,7 @@ func (e *Encoder) initLevels(snapshot0 []float64) error {
 // shards concurrently (assembled in index order, so bytes are
 // deterministic), and returns the block plus the reconstruction of the
 // batch's first snapshot (the MT reference candidate for batch 0).
-func (e *Encoder) encodeWith(m Method, batch [][]float64) (blk []byte, recon0 []float64, err error) {
+func (e *Encoder) encodeWith(ctx context.Context, m Method, batch [][]float64) (blk []byte, recon0 []float64, err error) {
 	bs, n := len(batch), len(batch[0])
 	k := e.shardCount(n)
 	firstPred := byte(firstVQ)
@@ -433,9 +473,9 @@ func (e *Encoder) encodeWith(m Method, batch [][]float64) (blk []byte, recon0 []
 	bounds := shardBounds(n, k)
 	recon0 = make([]float64, n)
 	shards := make([][]byte, k)
-	err = e.p.Pool.Run(k, func(s int) error {
+	err = e.p.Pool.RunContext(ctx, k, func(s int) error {
 		lo, hi := bounds[s], bounds[s+1]
-		payload, serr := e.encodeShard(m, batch, lo, hi, firstPred, recon0[lo:hi])
+		payload, serr := e.encodeShard(ctx, m, batch, lo, hi, firstPred, recon0[lo:hi], s)
 		shards[s] = payload
 		return serr
 	})
@@ -476,7 +516,10 @@ func (e *Encoder) encodeWith(m Method, batch [][]float64) (blk []byte, recon0 []
 // level-delta chain. recon0 (length hi-lo) receives the reconstruction of
 // the shard's first snapshot. encodeShard reads but never mutates encoder
 // state, so shards and ADP trials can run concurrently.
-func (e *Encoder) encodeShard(m Method, batch [][]float64, lo, hi int, firstPred byte, recon0 []float64) ([]byte, error) {
+func (e *Encoder) encodeShard(ctx context.Context, m Method, batch [][]float64, lo, hi int, firstPred byte, recon0 []float64, shard int) ([]byte, error) {
+	if e.p.FaultHook != nil {
+		e.p.FaultHook("encode_shard", shard)
+	}
 	bs, sn := len(batch), hi-lo
 	sc := encScratchPool.Get().(*encodeScratch)
 	defer encScratchPool.Put(sc)
@@ -501,6 +544,14 @@ func (e *Encoder) encodeShard(m Method, batch [][]float64, lo, hi int, firstPred
 	eb := e.p.ErrorBound
 	qsw := e.tel.QuantNS.Start()
 	for t, snap := range batch {
+		// One poll per row kernel: cheap against the O(sn) work below, and
+		// fine-grained enough that a deadline aborts within a few rows. The
+		// deferred scratch Put above still runs, so cancellation never
+		// strands pooled state.
+		if err := ctxErr(ctx); err != nil {
+			qsw.Stop()
+			return nil, err
+		}
 		data := snap[lo:hi]
 		base := t * rowStep
 		rowOut := 0
@@ -664,6 +715,16 @@ func NewDecoder(p Params) *Decoder {
 // DecodeBatch reconstructs the snapshots of one block, decoding particle
 // shards concurrently on the configured pool.
 func (d *Decoder) DecodeBatch(blk []byte) ([][]float64, error) {
+	return d.DecodeBatchContext(nil, blk)
+}
+
+// DecodeBatchContext is DecodeBatch with cooperative cancellation (shard
+// row loops and the work pool poll ctx; nil disables it). Like the
+// encoder, the decoder's cross-batch state is only advanced on success,
+// so a cancelled decode can be retried. When Params.Budget is set, the
+// block's claimed geometry and every claimed section length are charged
+// against one budget transaction scoped to this call.
+func (d *Decoder) DecodeBatchContext(ctx context.Context, blk []byte) ([][]float64, error) {
 	sw := d.tel.BatchNS.Start()
 	h, err := parseHeader(blk)
 	if err != nil {
@@ -678,13 +739,20 @@ func (d *Decoder) DecodeBatch(blk []byte) ([][]float64, error) {
 			return nil, ErrOrder
 		}
 	}
+	tx := d.p.Budget.Begin()
+	defer tx.Close()
+	// The output matrix is the decoder's single largest claimed-size
+	// allocation: charge it before materializing.
+	if err := tx.Reserve(8 * int64(h.bs) * int64(h.n)); err != nil {
+		return nil, err
+	}
 	out := make([][]float64, h.bs)
 	for t := range out {
 		out[t] = make([]float64, h.n)
 	}
 	offs := shardOffsets(h.shards)
-	err = d.p.Pool.Run(len(h.shards), func(s int) error {
-		return d.decodeShard(q, h, h.shards[s], offs[s], out)
+	err = d.p.Pool.RunContext(ctx, len(h.shards), func(s int) error {
+		return d.decodeShard(ctx, q, h, h.shards[s], offs[s], out, tx, s)
 	})
 	if err != nil {
 		return nil, err
@@ -700,11 +768,14 @@ func (d *Decoder) DecodeBatch(blk []byte) ([][]float64, error) {
 // decodeShard reconstructs one shard's particle columns [lo, lo+particles)
 // into out. Shards write disjoint column ranges, so they are safe to decode
 // concurrently.
-func (d *Decoder) decodeShard(q *quant.Quantizer, h *header, sh shardSec, lo int, out [][]float64) error {
+func (d *Decoder) decodeShard(ctx context.Context, q *quant.Quantizer, h *header, sh shardSec, lo int, out [][]float64, tx *budget.Tx, shard int) error {
+	if d.p.FaultHook != nil {
+		d.p.FaultHook("decode_shard", shard)
+	}
 	bs, sn := h.bs, sh.particles
 	sc := decScratchPool.Get().(*decodeScratch)
 	defer decScratchPool.Put(sc)
-	bins, levels, outliers, err := d.sections(h.ver, sh.body, bs, sn, sc)
+	bins, levels, outliers, err := d.sections(h.ver, sh.body, bs, sn, sc, tx)
 	if err != nil {
 		return err
 	}
@@ -719,6 +790,10 @@ func (d *Decoder) decodeShard(q *quant.Quantizer, h *header, sh shardSec, lo int
 	qsw := d.tel.QuantNS.Start()
 	defer qsw.Stop()
 	for t := 0; t < bs; t++ {
+		// Same per-row cancellation granularity as the encoder's shard loop.
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		base := t * rowStep
 		snap := out[t][lo : lo+sn]
 		nRes := 0
@@ -797,10 +872,15 @@ func (d *Decoder) DecodeSnapshot(blk []byte, t int) ([]float64, error) {
 	if err != nil {
 		return nil, ErrCorrupt
 	}
+	tx := d.p.Budget.Begin()
+	defer tx.Close()
+	if err := tx.Reserve(8 * int64(h.n)); err != nil {
+		return nil, err
+	}
 	snap := make([]float64, h.n)
 	offs := shardOffsets(h.shards)
 	err = d.p.Pool.Run(len(h.shards), func(s int) error {
-		return d.decodeShardSnapshot(q, h, h.shards[s], offs[s], t, snap)
+		return d.decodeShardSnapshot(q, h, h.shards[s], offs[s], t, snap, tx)
 	})
 	if err != nil {
 		return nil, err
@@ -809,11 +889,11 @@ func (d *Decoder) DecodeSnapshot(blk []byte, t int) ([]float64, error) {
 }
 
 // decodeShardSnapshot reconstructs row t of one shard into snap[lo:].
-func (d *Decoder) decodeShardSnapshot(q *quant.Quantizer, h *header, sh shardSec, lo, t int, snap []float64) error {
+func (d *Decoder) decodeShardSnapshot(q *quant.Quantizer, h *header, sh shardSec, lo, t int, snap []float64, tx *budget.Tx) error {
 	bs, sn := h.bs, sh.particles
 	sc := decScratchPool.Get().(*decodeScratch)
 	defer decScratchPool.Put(sc)
-	bins, levels, outliers, err := d.sections(h.ver, sh.body, bs, sn, sc)
+	bins, levels, outliers, err := d.sections(h.ver, sh.body, bs, sn, sc, tx)
 	if err != nil {
 		return err
 	}
@@ -1003,12 +1083,12 @@ func parseHeader(blk []byte) (*header, error) {
 // stream, level-delta stream and outlier bytes, reusing sc's buffers when
 // provided. The block version selects the matching backend and entropy
 // codec. The returned slices alias sc and must not outlive its use.
-func (d *Decoder) sections(ver byte, body []byte, bs, sn int, sc *decodeScratch) (bins, levels []int, outliers []byte, err error) {
+func (d *Decoder) sections(ver byte, body []byte, bs, sn int, sc *decodeScratch, tx *budget.Tx) (bins, levels []int, outliers []byte, err error) {
 	backend := d.p.Backend
 	if ver == formatVer3 {
 		backend = d.backendV3
 	}
-	payload, err := backend.Decompress(body)
+	payload, err := lossless.DecompressTx(backend, body, tx)
 	if err != nil {
 		return nil, nil, nil, corrupt(err)
 	}
@@ -1019,17 +1099,17 @@ func (d *Decoder) sections(ver byte, body []byte, bs, sn int, sc *decodeScratch)
 	}
 	hsw := d.tel.HuffNS.Start()
 	if ver == formatVer3 {
-		if bins, err = huffman.DecodeInts2Buf(pr, binsBuf); err != nil {
+		if bins, err = huffman.DecodeInts2Tx(pr, binsBuf, tx); err != nil {
 			return nil, nil, nil, corrupt(err)
 		}
-		if levels, err = huffman.DecodeInts2Buf(pr, levelsBuf); err != nil {
+		if levels, err = huffman.DecodeInts2Tx(pr, levelsBuf, tx); err != nil {
 			return nil, nil, nil, corrupt(err)
 		}
 	} else {
-		if bins, err = huffman.DecodeIntsBuf(pr, binsBuf); err != nil {
+		if bins, err = huffman.DecodeIntsTx(pr, binsBuf, tx); err != nil {
 			return nil, nil, nil, corrupt(err)
 		}
-		if levels, err = huffman.DecodeIntsBuf(pr, levelsBuf); err != nil {
+		if levels, err = huffman.DecodeIntsTx(pr, levelsBuf, tx); err != nil {
 			return nil, nil, nil, corrupt(err)
 		}
 	}

@@ -114,3 +114,12 @@ func BlockInfo(blk []byte) (m Method, bs, n int, err error) {
 	}
 	return h.method, h.bs, h.n, nil
 }
+
+// SetFaultHook installs the fault-injection seam (see Params.FaultHook)
+// after construction. Not safe to call concurrently with decoding; it
+// exists for tests that need to force panics or deterministic
+// cancellation inside shard workers.
+func (d *Decoder) SetFaultHook(f func(op string, shard int)) { d.p.FaultHook = f }
+
+// SetFaultHook is the encoder counterpart of Decoder.SetFaultHook.
+func (e *Encoder) SetFaultHook(f func(op string, shard int)) { e.p.FaultHook = f }

@@ -6,6 +6,22 @@
 // Faults are positional and deterministic by construction — the same fault
 // list applied to the same byte stream always yields the same damage — so a
 // failing case can be replayed from its seed alone.
+//
+// Seed contract: every seeded injector (Fragment) treats its seed as the
+// replay key of a test case — the same seed must always produce the same
+// fragmentation, on every run and every platform. Negative seeds are
+// rejected with a panic rather than remapped onto the valid range: silently
+// folding them would let two different-looking cases alias the same damage
+// and make failure reports ambiguous. Construction-time misuse panics;
+// stream-time faults return errors.
+//
+// Beyond the positional Fault list, three injectors model environmental
+// failure shapes directly: Partial caps every transfer at a fixed size
+// (deterministic short reads/writes), StallAt runs a callback when the
+// stream position reaches a byte offset (letting a test cancel a context
+// or kill a producer at an exact point), and Writer.AbortAt simulates a
+// crash — the prefix before the offset is written, everything after is
+// refused with ErrAborted.
 package faultio
 
 import (
@@ -16,6 +32,17 @@ import (
 
 // ErrInjected is returned by fault points of kind Error.
 var ErrInjected = errors.New("faultio: injected I/O error")
+
+// ErrAborted is returned by a Writer past its AbortAt crash point: unlike a
+// Truncate torn write, the producer observes the failure.
+var ErrAborted = errors.New("faultio: aborted at injected crash point")
+
+// checkSeed enforces the package seed contract (see the package comment).
+func checkSeed(seed int64) {
+	if seed < 0 {
+		panic("faultio: negative Fragment seed (seeds are replay keys and must be >= 0)")
+	}
+}
 
 // Kind selects the damage a Fault inflicts.
 type Kind int
@@ -72,11 +99,14 @@ func Corrupt(data []byte, faults ...Fault) []byte {
 // Reader wraps an io.Reader and injects faults at their offsets as the
 // stream flows through it.
 type Reader struct {
-	r      io.Reader
-	off    int64
-	faults []Fault
-	rng    *rand.Rand
-	failed bool
+	r       io.Reader
+	off     int64
+	faults  []Fault
+	rng     *rand.Rand
+	failed  bool
+	partial int64
+	stallAt int64
+	stallFn func()
 }
 
 // NewReader returns a fault-injecting reader over r.
@@ -86,9 +116,32 @@ func NewReader(r io.Reader, faults ...Fault) *Reader {
 
 // Fragment makes every Read return a short, seeded-random prefix of what
 // was asked for (always at least one byte), exercising the caller's
-// partial-read paths. Returns the receiver for chaining.
+// partial-read paths. Returns the receiver for chaining. Panics on a
+// negative seed (see the package seed contract).
 func (r *Reader) Fragment(seed int64) *Reader {
+	checkSeed(seed)
 	r.rng = rand.New(rand.NewSource(seed))
+	return r
+}
+
+// Partial caps every Read at max bytes — the deterministic counterpart of
+// Fragment, for cases that need an exact transfer size rather than a
+// seeded one. Returns the receiver for chaining. Panics if max < 1.
+func (r *Reader) Partial(max int) *Reader {
+	if max < 1 {
+		panic("faultio: Partial cap must be at least 1 byte")
+	}
+	r.partial = int64(max)
+	return r
+}
+
+// StallAt registers fn to run once, when the stream position reaches off:
+// reads stop short of the offset, fn fires, and the next Read continues
+// from exactly there. It lets a test cancel a context, kill a producer or
+// inject any other concurrent event at a deterministic byte. Returns the
+// receiver for chaining.
+func (r *Reader) StallAt(off int64, fn func()) *Reader {
+	r.stallAt, r.stallFn = off, fn
 	return r
 }
 
@@ -100,8 +153,14 @@ func (r *Reader) Read(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	if r.stallFn != nil && r.off >= r.stallAt {
+		fn := r.stallFn
+		r.stallFn = nil
+		fn()
+	}
 	// Stop short of the nearest barrier fault (Truncate or Error) so the
-	// bytes before it flow through undamaged.
+	// bytes before it flow through undamaged; an unfired stall point is a
+	// barrier too, so fn fires at exactly its offset.
 	limit := int64(len(p))
 	for _, f := range r.faults {
 		if f.Kind != Truncate && f.Kind != Error {
@@ -117,6 +176,14 @@ func (r *Reader) Read(p []byte) (int, error) {
 		if d := f.Offset - r.off; d < limit {
 			limit = d
 		}
+	}
+	if r.stallFn != nil {
+		if d := r.stallAt - r.off; d > 0 && d < limit {
+			limit = d
+		}
+	}
+	if r.partial > 0 && limit > r.partial {
+		limit = r.partial
 	}
 	if r.rng != nil && limit > 1 {
 		limit = 1 + r.rng.Int63n(limit)
@@ -144,24 +211,60 @@ func (r *Reader) Read(p []byte) (int, error) {
 // Writer wraps an io.Writer and injects faults at their offsets as data is
 // written through it.
 type Writer struct {
-	w      io.Writer
-	off    int64
-	faults []Fault
-	rng    *rand.Rand
-	torn   bool
-	failed bool
+	w       io.Writer
+	off     int64
+	faults  []Fault
+	rng     *rand.Rand
+	torn    bool
+	failed  bool
+	aborted bool
+	partial int64
+	abortAt int64 // -1 = disabled
+	stallAt int64
+	stallFn func()
 }
 
 // NewWriter returns a fault-injecting writer over w.
 func NewWriter(w io.Writer, faults ...Fault) *Writer {
-	return &Writer{w: w, faults: append([]Fault(nil), faults...)}
+	return &Writer{w: w, faults: append([]Fault(nil), faults...), abortAt: -1}
 }
 
 // Fragment makes Write push data through in short, seeded-random pieces
 // (stress-testing downstream partial-write handling without changing the
-// bytes). Returns the receiver for chaining.
+// bytes). Returns the receiver for chaining. Panics on a negative seed
+// (see the package seed contract).
 func (w *Writer) Fragment(seed int64) *Writer {
+	checkSeed(seed)
 	w.rng = rand.New(rand.NewSource(seed))
+	return w
+}
+
+// Partial caps every downstream write at max bytes — the deterministic
+// counterpart of Fragment. Returns the receiver for chaining. Panics if
+// max < 1.
+func (w *Writer) Partial(max int) *Writer {
+	if max < 1 {
+		panic("faultio: Partial cap must be at least 1 byte")
+	}
+	w.partial = int64(max)
+	return w
+}
+
+// StallAt registers fn to run once, when the write position reaches off
+// (see Reader.StallAt). Returns the receiver for chaining.
+func (w *Writer) StallAt(off int64, fn func()) *Writer {
+	w.stallAt, w.stallFn = off, fn
+	return w
+}
+
+// AbortAt simulates a crash at byte off of the produced stream: the prefix
+// before the offset reaches the underlying writer, and the write that
+// crosses it — plus every write after — fails with ErrAborted. Unlike a
+// Truncate torn write the producer sees the error, so this models
+// "process killed mid-write" for crash-consistency tests. Returns the
+// receiver for chaining.
+func (w *Writer) AbortAt(off int64) *Writer {
+	w.abortAt = off
 	return w
 }
 
@@ -171,6 +274,9 @@ func (w *Writer) Fragment(seed int64) *Writer {
 func (w *Writer) Write(p []byte) (int, error) {
 	if w.failed {
 		return 0, ErrInjected
+	}
+	if w.aborted {
+		return 0, ErrAborted
 	}
 	if w.torn {
 		w.off += int64(len(p))
@@ -193,8 +299,19 @@ func (w *Writer) Write(p []byte) (int, error) {
 	}
 	written := 0
 	for written < len(buf) {
+		if w.stallFn != nil && w.off >= w.stallAt {
+			fn := w.stallFn
+			w.stallFn = nil
+			fn()
+		}
+		if w.abortAt >= 0 && w.off >= w.abortAt {
+			w.aborted = true
+			return written, ErrAborted
+		}
 		chunk := buf[written:]
-		// Honor the nearest barrier fault inside this chunk.
+		// Honor the nearest barrier fault inside this chunk; the abort and
+		// unfired-stall offsets are barriers too, so each triggers at
+		// exactly its byte.
 		for _, f := range w.faults {
 			if f.Kind != Truncate && f.Kind != Error {
 				continue
@@ -211,6 +328,19 @@ func (w *Writer) Write(p []byte) (int, error) {
 			if d := f.Offset - w.off; d < int64(len(chunk)) {
 				chunk = chunk[:d]
 			}
+		}
+		if w.abortAt >= 0 {
+			if d := w.abortAt - w.off; d < int64(len(chunk)) {
+				chunk = chunk[:d]
+			}
+		}
+		if w.stallFn != nil {
+			if d := w.stallAt - w.off; d > 0 && d < int64(len(chunk)) {
+				chunk = chunk[:d]
+			}
+		}
+		if w.partial > 0 && int64(len(chunk)) > w.partial {
+			chunk = chunk[:w.partial]
 		}
 		if w.rng != nil && len(chunk) > 1 {
 			chunk = chunk[:1+w.rng.Intn(len(chunk))]

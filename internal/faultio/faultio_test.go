@@ -117,3 +117,134 @@ func TestWriterFaults(t *testing.T) {
 		t.Errorf("error fault: n=%d err=%v, want 23 ErrInjected", n, err)
 	}
 }
+
+func TestFragmentRejectsNegativeSeed(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: negative seed did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Reader", func() { NewReader(bytes.NewReader(nil)).Fragment(-1) })
+	mustPanic("Writer", func() { NewWriter(io.Discard).Fragment(-7) })
+}
+
+func TestReaderPartial(t *testing.T) {
+	src := bytes.Repeat([]byte("abc"), 10)
+	r := NewReader(bytes.NewReader(src)).Partial(4)
+	buf := make([]byte, 64)
+	var got []byte
+	for {
+		n, err := r.Read(buf)
+		if n > 4 {
+			t.Fatalf("Partial(4) delivered %d bytes", n)
+		}
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("partial reads reassembled %q, want %q", got, src)
+	}
+}
+
+func TestWriterPartial(t *testing.T) {
+	var sizes []int
+	var sink bytes.Buffer
+	w := NewWriter(writerFunc(func(p []byte) (int, error) {
+		sizes = append(sizes, len(p))
+		return sink.Write(p)
+	})).Partial(3)
+	data := bytes.Repeat([]byte("xyzw"), 5)
+	if n, err := w.Write(data); err != nil || n != len(data) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	for _, s := range sizes {
+		if s > 3 {
+			t.Fatalf("Partial(3) pushed a %d-byte chunk", s)
+		}
+	}
+	if !bytes.Equal(sink.Bytes(), data) {
+		t.Fatalf("partial writes reassembled %q, want %q", sink.Bytes(), data)
+	}
+}
+
+func TestReaderStallAt(t *testing.T) {
+	src := []byte("0123456789")
+	var at int64 = -1
+	var r *Reader
+	r = NewReader(bytes.NewReader(src))
+	r.StallAt(4, func() { at = 4 })
+	buf := make([]byte, 16)
+	n, err := r.Read(buf)
+	if err != nil || n != 4 {
+		t.Fatalf("first read = %d, %v; want 4 bytes stopping at the stall point", n, err)
+	}
+	if at != -1 {
+		t.Fatal("stall fired before its offset was reached")
+	}
+	if _, err := r.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if at != 4 {
+		t.Fatalf("stall fired at %d, want 4", at)
+	}
+}
+
+func TestWriterStallAtFiresOnce(t *testing.T) {
+	fired := 0
+	w := NewWriter(io.Discard)
+	w.StallAt(5, func() { fired++ })
+	for i := 0; i < 4; i++ {
+		if _, err := w.Write([]byte("abcd")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("stall fired %d times, want exactly once", fired)
+	}
+}
+
+func TestWriterAbortAt(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink).AbortAt(6)
+	if n, err := w.Write([]byte("0123")); err != nil || n != 4 {
+		t.Fatalf("pre-crash write = %d, %v", n, err)
+	}
+	n, err := w.Write([]byte("4567"))
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("crossing write err = %v, want ErrAborted", err)
+	}
+	if n != 2 {
+		t.Fatalf("crossing write reported %d bytes, want the 2 before the crash point", n)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrAborted) {
+		t.Fatalf("post-crash write err = %v, want ErrAborted", err)
+	}
+	if got := sink.String(); got != "012345" {
+		t.Fatalf("sink holds %q, want exactly the 6-byte prefix", got)
+	}
+}
+
+func TestWriterAbortAtZero(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink).AbortAt(0)
+	if _, err := w.Write([]byte("abc")); !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("sink holds %d bytes, want none", sink.Len())
+	}
+}
+
+// writerFunc adapts a function to io.Writer for chunk-size observation.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -397,34 +397,7 @@ func (s *DecodeScratch) ReadTable(br *bitstream.ByteReader) (*Decoder, error) {
 // error sequencing: stream/table errors surface first, and ErrByteRange is
 // returned only when the symbol stream itself decoded cleanly.
 func (s *DecodeScratch) DecodeBytes(br *bitstream.ByteReader, buf []byte) ([]byte, error) {
-	table, err := br.ReadSection()
-	if err != nil {
-		return nil, err
-	}
-	s.br.Reset(table)
-	dec, err := s.ReadTable(&s.br)
-	if err != nil {
-		return nil, err
-	}
-	n, err := br.ReadUvarint()
-	if err != nil {
-		return nil, err
-	}
-	payload, err := br.ReadSection()
-	if err != nil {
-		return nil, err
-	}
-	if n == 0 {
-		if buf != nil {
-			return buf[:0], nil
-		}
-		return []byte{}, nil
-	}
-	if n > uint64(len(payload))*64+64 {
-		return nil, ErrCorrupt
-	}
-	s.r.Reset(payload)
-	return dec.DecodeAllBytesBuf(&s.r, int(n), buf)
+	return s.DecodeBytesTx(br, buf, nil)
 }
 
 // DecodeAllBytesBuf reads exactly n symbols as bytes, reusing buf when it

@@ -282,53 +282,7 @@ outer:
 // DecodeInts2Buf inverts EncodeInts2, consuming from br into buf (reused
 // when it has capacity).
 func DecodeInts2Buf(br *bitstream.ByteReader, buf []int) ([]int, error) {
-	table, err := br.ReadSection()
-	if err != nil {
-		return nil, err
-	}
-	dec, err := ReadTable(bitstream.NewByteReader(table))
-	if err != nil {
-		return nil, err
-	}
-	n, err := br.ReadUvarint()
-	if err != nil {
-		return nil, err
-	}
-	p0, err := br.ReadSection()
-	if err != nil {
-		return nil, err
-	}
-	p1, err := br.ReadSection()
-	if err != nil {
-		return nil, err
-	}
-	if n == 0 {
-		if buf != nil {
-			return buf[:0], nil
-		}
-		return []int{}, nil
-	}
-	if n > 1<<34 {
-		return nil, ErrCorrupt
-	}
-	h := (n + 1) / 2
-	if h > uint64(len(p0))*64+64 || n-h > uint64(len(p1))*64+64 {
-		return nil, ErrCorrupt
-	}
-	var out []int
-	if cap(buf) >= int(n) {
-		out = buf[:n]
-	} else {
-		out = make([]int, n)
-	}
-	if len(dec.symbols) == 0 {
-		return nil, ErrCorrupt
-	}
-	dec.buildPair()
-	if err := dec.decodeDual(bitstream.NewReader(p0), bitstream.NewReader(p1), out, int(h)); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return DecodeInts2Tx(br, buf, nil)
 }
 
 // DecodeInts2 is the convenience form of DecodeInts2Buf.
@@ -498,54 +452,5 @@ outer:
 // DecodeBytes2 inverts EncodeBytes2, consuming one dual-lane section from br
 // into buf (reused when it has capacity).
 func (s *DecodeScratch) DecodeBytes2(br *bitstream.ByteReader, buf []byte) ([]byte, error) {
-	table, err := br.ReadSection()
-	if err != nil {
-		return nil, err
-	}
-	s.br.Reset(table)
-	dec, err := s.ReadTable(&s.br)
-	if err != nil {
-		return nil, err
-	}
-	n, err := br.ReadUvarint()
-	if err != nil {
-		return nil, err
-	}
-	p0, err := br.ReadSection()
-	if err != nil {
-		return nil, err
-	}
-	p1, err := br.ReadSection()
-	if err != nil {
-		return nil, err
-	}
-	if n == 0 {
-		if buf != nil {
-			return buf[:0], nil
-		}
-		return []byte{}, nil
-	}
-	if n > 1<<34 {
-		return nil, ErrCorrupt
-	}
-	h := (n + 1) / 2
-	if h > uint64(len(p0))*64+64 || n-h > uint64(len(p1))*64+64 {
-		return nil, ErrCorrupt
-	}
-	var out []byte
-	if cap(buf) >= int(n) {
-		out = buf[:n]
-	} else {
-		out = make([]byte, n)
-	}
-	if len(dec.symbols) == 0 {
-		return nil, ErrCorrupt
-	}
-	dec.buildPair()
-	s.r.Reset(p0)
-	s.r2.Reset(p1)
-	if err := dec.decodeDualBytes(&s.r, &s.r2, out, int(h)); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return s.DecodeBytes2Tx(br, buf, nil)
 }

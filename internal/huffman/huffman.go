@@ -1103,30 +1103,5 @@ func DecodeInts(br *bitstream.ByteReader) ([]int, error) {
 // when buf has sufficient capacity the symbols are decoded into it,
 // avoiding a per-call allocation on the decode hot path.
 func DecodeIntsBuf(br *bitstream.ByteReader, buf []int) ([]int, error) {
-	table, err := br.ReadSection()
-	if err != nil {
-		return nil, err
-	}
-	dec, err := ReadTable(bitstream.NewByteReader(table))
-	if err != nil {
-		return nil, err
-	}
-	n, err := br.ReadUvarint()
-	if err != nil {
-		return nil, err
-	}
-	payload, err := br.ReadSection()
-	if err != nil {
-		return nil, err
-	}
-	if n == 0 {
-		if buf != nil {
-			return buf[:0], nil
-		}
-		return []int{}, nil
-	}
-	if n > uint64(len(payload))*64+64 {
-		return nil, ErrCorrupt
-	}
-	return dec.DecodeAllBuf(bitstream.NewReader(payload), int(n), buf)
+	return DecodeIntsTx(br, buf, nil)
 }

@@ -28,6 +28,8 @@ import (
 	"io"
 	"math"
 	"sync"
+
+	"github.com/mdz/mdz/internal/budget"
 )
 
 // ErrCorrupt is returned when a compressed stream is malformed.
@@ -42,6 +44,26 @@ type Backend interface {
 	Compress(src []byte) ([]byte, error)
 	// Decompress inverts Compress.
 	Decompress(src []byte) ([]byte, error)
+}
+
+// BudgetedBackend is the optional extension of Backend implemented by
+// codecs that can charge a stream's claimed decode sizes against a budget
+// transaction before allocating for them. DecompressTx with a nil tx must
+// behave exactly like Decompress. Callers discover it by type assertion
+// and fall back to Decompress (ungoverned) when it is absent.
+type BudgetedBackend interface {
+	Backend
+	DecompressTx(src []byte, tx *budget.Tx) ([]byte, error)
+}
+
+// DecompressTx dispatches to b's budget-aware decompressor when it has
+// one, otherwise to plain Decompress. A nil tx always takes the plain
+// path's semantics.
+func DecompressTx(b Backend, src []byte, tx *budget.Tx) ([]byte, error) {
+	if bb, ok := b.(BudgetedBackend); ok {
+		return bb.DecompressTx(src, tx)
+	}
+	return b.Decompress(src)
 }
 
 // FloatCompressor compresses float64 arrays losslessly.

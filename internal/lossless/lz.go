@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/mdz/mdz/internal/bitstream"
+	"github.com/mdz/mdz/internal/budget"
 	"github.com/mdz/mdz/internal/huffman"
 )
 
@@ -240,10 +241,21 @@ func (z LZ) Decompress(src []byte) ([]byte, error) {
 	return z.AppendDecompress(nil, src)
 }
 
+// DecompressTx implements BudgetedBackend: the stream's declared original
+// size and its literal/sequence section lengths are charged against tx
+// before being allocated for.
+func (z LZ) DecompressTx(src []byte, tx *budget.Tx) ([]byte, error) {
+	return z.appendDecompressTx(nil, src, tx)
+}
+
 // AppendDecompress appends the decompressed form of src to dst and returns
 // the extended slice. With a reused dst of sufficient capacity the
 // steady-state allocation count is zero.
 func (z LZ) AppendDecompress(dst, src []byte) ([]byte, error) {
+	return z.appendDecompressTx(dst, src, nil)
+}
+
+func (z LZ) appendDecompressTx(dst, src []byte, tx *budget.Tx) ([]byte, error) {
 	st := lzDecPool.Get().(*lzDecState)
 	defer lzDecPool.Put(st)
 	br := &st.br
@@ -255,11 +267,16 @@ func (z LZ) AppendDecompress(dst, src []byte) ([]byte, error) {
 	if origSize > 1<<34 {
 		return nil, ErrCorrupt
 	}
+	// Charge the declared output size before reserving space for it; the
+	// section decoders below charge their own declared lengths via tx.
+	if err := tx.Reserve(int64(origSize)); err != nil {
+		return nil, err
+	}
 	var literals, seq []byte
 	if z.V3 {
-		literals, err = st.hs.DecodeBytes2(br, st.literals[:0])
+		literals, err = st.hs.DecodeBytes2Tx(br, st.literals[:0], tx)
 	} else {
-		literals, err = st.hs.DecodeBytes(br, st.literals[:0])
+		literals, err = st.hs.DecodeBytesTx(br, st.literals[:0], tx)
 	}
 	if err != nil {
 		if errors.Is(err, huffman.ErrByteRange) {
@@ -269,9 +286,9 @@ func (z LZ) AppendDecompress(dst, src []byte) ([]byte, error) {
 	}
 	st.literals = literals
 	if z.V3 {
-		seq, err = st.hs.DecodeBytes2(br, st.seq[:0])
+		seq, err = st.hs.DecodeBytes2Tx(br, st.seq[:0], tx)
 	} else {
-		seq, err = st.hs.DecodeBytes(br, st.seq[:0])
+		seq, err = st.hs.DecodeBytesTx(br, st.seq[:0], tx)
 	}
 	if err != nil {
 		if errors.Is(err, huffman.ErrByteRange) {

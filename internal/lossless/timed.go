@@ -1,6 +1,10 @@
 package lossless
 
-import "time"
+import (
+	"time"
+
+	"github.com/mdz/mdz/internal/budget"
+)
 
 // Timed decorates a Backend with per-call observation hooks, letting the
 // pipeline's telemetry layer attribute wall time and byte flow to the
@@ -38,6 +42,20 @@ func (t Timed) Decompress(src []byte) ([]byte, error) {
 	}
 	t0 := time.Now()
 	out, err := t.B.Decompress(src)
+	t.OnDecompress(time.Since(t0), len(src), len(out))
+	return out, err
+}
+
+// DecompressTx implements BudgetedBackend, forwarding the transaction to
+// the wrapped backend when it is budget-aware (falling back to plain
+// Decompress otherwise) so a Timed decoration never silently strips the
+// memory governor.
+func (t Timed) DecompressTx(src []byte, tx *budget.Tx) ([]byte, error) {
+	if t.OnDecompress == nil {
+		return DecompressTx(t.B, src, tx)
+	}
+	t0 := time.Now()
+	out, err := DecompressTx(t.B, src, tx)
 	t.OnDecompress(time.Since(t0), len(src), len(out))
 	return out, err
 }

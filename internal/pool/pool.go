@@ -13,10 +13,22 @@
 // Task results must be written into index-addressed slots by the callback,
 // so outputs are assembled in deterministic order no matter which goroutine
 // ran which task.
+//
+// Fault containment: a task that panics is recovered into a *PanicError
+// (stack captured) and reported through the normal lowest-index-error
+// return, so one poisoned shard degrades to an error instead of crashing
+// the process. RunContext adds cooperative cancellation — tasks not yet
+// started when the context is done are skipped and report ctx.Err();
+// tasks already running always finish, so every Run/RunContext return
+// happens strictly after all its goroutines have exited (no leaks, and
+// deferred scratch returns inside tasks always execute).
 package pool
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -45,6 +57,8 @@ type Telemetry struct {
 	// serial execution in its caller — the intended nesting behaviour, but
 	// a high rate means Workers is the bottleneck).
 	SerialDegradations *telemetry.Counter
+	// PanicsRecovered counts task panics converted into *PanicError.
+	PanicsRecovered *telemetry.Counter
 	// HelpersActive gauges the helper goroutines currently running.
 	HelpersActive *telemetry.Gauge
 }
@@ -60,6 +74,7 @@ func Instruments(reg *telemetry.Registry) *Telemetry {
 		Tasks:              reg.Counter("pool.tasks"),
 		HelperSpawns:       reg.Counter("pool.helper_spawns"),
 		SerialDegradations: reg.Counter("pool.serial_degradations"),
+		PanicsRecovered:    reg.Counter("pool.panics_recovered"),
 		HelpersActive:      reg.Gauge("pool.helpers_active"),
 	}
 }
@@ -90,19 +105,73 @@ func (p *Pool) Workers() int {
 	return cap(p.sem) + 1
 }
 
+// PanicError reports a task panic recovered by the pool. It satisfies
+// error and carries the panic value plus the stack of the panicking
+// goroutine, captured at recovery time.
+type PanicError struct {
+	// Task is the index of the task that panicked.
+	Task int
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: task %d panicked: %v", e.Task, e.Value)
+}
+
+// Unwrap exposes a wrapped error panic value (panic(err)) to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// call runs f(i), converting a panic into a *PanicError.
+func (p *Pool) call(f func(i int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Task: i, Value: v, Stack: debug.Stack()}
+			if p != nil && p.tel != nil {
+				p.tel.PanicsRecovered.Inc()
+			}
+		}
+	}()
+	return f(i)
+}
+
 // Run executes f(0) … f(n-1), sharing the work between the calling
 // goroutine and any helper slots it can claim from the pool. It returns the
 // error of the lowest-index failing task (all tasks still run). Run is safe
 // to call concurrently and reentrantly; nested calls that find the pool
 // saturated run serially in their caller.
 func (p *Pool) Run(n int, f func(i int) error) error {
+	return p.RunContext(nil, n, f)
+}
+
+// RunContext is Run with cooperative cancellation: once ctx is done, tasks
+// that have not started are skipped and their slots report ctx.Err(), which
+// participates in the usual lowest-index-error selection. Tasks already
+// running are never interrupted — long tasks should poll ctx themselves.
+// RunContext returns only after every started task has finished, so callers
+// never observe in-flight goroutines after it returns. A nil ctx disables
+// cancellation.
+func (p *Pool) RunContext(ctx context.Context, n int, f func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if p == nil || cap(p.sem) == 0 || n == 1 {
 		var firstErr error
 		for i := 0; i < n; i++ {
-			if err := f(i); err != nil && firstErr == nil {
+			var err error
+			if ctx != nil && ctx.Err() != nil {
+				err = ctx.Err()
+			} else {
+				err = p.call(f, i)
+			}
+			if err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -116,7 +185,11 @@ func (p *Pool) Run(n int, f func(i int) error) error {
 			if i >= n {
 				return
 			}
-			errs[i] = f(i)
+			if ctx != nil && ctx.Err() != nil {
+				errs[i] = ctx.Err()
+				continue
+			}
+			errs[i] = p.call(f, i)
 		}
 	}
 	var wg sync.WaitGroup

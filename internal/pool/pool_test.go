@@ -1,9 +1,12 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
+
+	"github.com/mdz/mdz/internal/telemetry"
 )
 
 func TestNilPoolRunsSerially(t *testing.T) {
@@ -91,5 +94,113 @@ func TestDefaultWorkersPositive(t *testing.T) {
 	}
 	if New(-3).Workers() < 1 {
 		t.Error("negative workers pool unusable")
+	}
+}
+
+func TestRunRecoversPanicToPanicError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		err := p.Run(8, func(i int) error {
+			if i == 5 {
+				panic("boom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v (%T), want *PanicError", workers, err, err)
+		}
+		if pe.Task != 5 || pe.Value != "boom" {
+			t.Errorf("workers=%d: PanicError = task %d value %v", workers, pe.Task, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+func TestPanicErrorLowestIndexVsError(t *testing.T) {
+	errA := errors.New("a")
+	p := New(1) // serial: deterministic ordering
+	err := p.Run(10, func(i int) error {
+		switch i {
+		case 2:
+			panic("early")
+		case 6:
+			return errA
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Task != 2 {
+		t.Fatalf("err = %v, want PanicError for task 2", err)
+	}
+}
+
+func TestPanicErrorUnwrapsErrorValue(t *testing.T) {
+	sentinel := errors.New("inner")
+	err := New(1).Run(1, func(int) error { panic(sentinel) })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is(err, sentinel) = false for %v", err)
+	}
+}
+
+func TestPanicsRecoveredCounter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := New(2)
+	p.SetTelemetry(Instruments(reg))
+	_ = p.Run(4, func(i int) error {
+		if i%2 == 0 {
+			panic(i)
+		}
+		return nil
+	})
+	if got := reg.Counter("pool.panics_recovered").Value(); got != 2 {
+		t.Fatalf("panics_recovered = %d, want 2", got)
+	}
+}
+
+func TestRunContextCancelSkipsUnstartedTasks(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		err := p.RunContext(ctx, 64, func(i int) error {
+			started.Add(1)
+			cancel()
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if s := started.Load(); s >= 64 {
+			t.Errorf("workers=%d: all %d tasks ran despite cancellation", workers, s)
+		}
+	}
+}
+
+func TestRunContextNilAndUncancelled(t *testing.T) {
+	p := New(4)
+	var n atomic.Int32
+	if err := p.RunContext(nil, 16, func(int) error { n.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunContext(context.Background(), 16, func(int) error { n.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 32 {
+		t.Errorf("ran %d tasks, want 32", n.Load())
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := New(4).RunContext(ctx, 8, func(int) error {
+		t.Error("task ran on pre-cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,114 @@
+// Package safeio provides crash-safe file replacement: output is staged in
+// a temporary file in the destination directory, flushed to stable storage,
+// and atomically renamed over the final path. A crash — of the process or
+// the machine — at any byte of the write leaves either the old file (or no
+// file) or the complete new one, never a torn prefix under the final name.
+//
+// The sequence is the classic journal-free commit protocol:
+//
+//  1. create a uniquely-named temp file next to the destination (same
+//     filesystem, so the rename in step 4 is atomic);
+//  2. stream the payload into it;
+//  3. fsync the temp file, so the bytes are durable before they become
+//     reachable under the final name;
+//  4. rename onto the destination — the atomic commit point;
+//  5. fsync the parent directory, making the rename itself durable.
+//
+// Options.NoSync skips steps 3 and 5 for callers that prefer speed over
+// crash durability (atomicity against process crashes is preserved either
+// way; an OS crash may then lose or empty the renamed file). On any failure
+// the temp file is removed and the destination is untouched.
+package safeio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Options configures WriteFile.
+type Options struct {
+	// NoSync skips the fsync of the temp file and parent directory. The
+	// rename commit stays atomic, but after an OS crash the new file may be
+	// lost or empty.
+	NoSync bool
+	// Mode is the permission mode of the final file; 0 means 0o644.
+	Mode os.FileMode
+	// WrapWriter, when non-nil, wraps the temp-file writer before the
+	// payload callback sees it. It is a fault-injection seam for tests
+	// (abort-at-byte, torn writes); production callers leave it nil.
+	WrapWriter func(io.Writer) io.Writer
+}
+
+// WriteFile atomically replaces path with the bytes that write produces.
+// The callback streams into a staged temp file; only after it returns nil
+// and the data is synced does the file appear under path. On any error —
+// from the callback, the sync or the rename — the temp file is removed and
+// path is left exactly as it was.
+func WriteFile(path string, opts Options, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("safeio: staging %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()           // no-op if already closed
+			os.Remove(tmp.Name()) // the destination stays untouched
+		}
+	}()
+	var w io.Writer = tmp
+	if opts.WrapWriter != nil {
+		w = opts.WrapWriter(tmp)
+	}
+	if err = write(w); err != nil {
+		return err
+	}
+	if !opts.NoSync {
+		if err = tmp.Sync(); err != nil {
+			return fmt.Errorf("safeio: syncing %s: %w", path, err)
+		}
+	}
+	mode := opts.Mode
+	if mode == 0 {
+		mode = 0o644
+	}
+	// CreateTemp creates 0o600; widen to the requested final mode.
+	if err = tmp.Chmod(mode); err != nil {
+		return fmt.Errorf("safeio: chmod %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("safeio: closing staged %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("safeio: committing %s: %w", path, err)
+	}
+	if !opts.NoSync {
+		if err = syncDir(dir); err != nil {
+			return fmt.Errorf("safeio: syncing directory of %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for a payload already in memory.
+func WriteFileBytes(path string, data []byte, opts Options) error {
+	return WriteFile(path, opts, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir makes a completed rename in dir durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

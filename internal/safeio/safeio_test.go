@@ -1,0 +1,143 @@
+package safeio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/mdz/mdz/internal/faultio"
+)
+
+func TestWriteFileBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	payload := []byte("hello, durable world")
+	if err := WriteFileBytes(path, payload, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("read back %q, want %q", got, payload)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Mode().Perm() != 0o644 {
+		t.Fatalf("mode = %v, %v; want 0644", fi.Mode(), err)
+	}
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("new"), Options{NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("read back %q, want %q", got, "new")
+	}
+}
+
+func TestWriteFileCallbackErrorLeavesDestination(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("payload failure")
+	err := WriteFile(path, Options{}, func(w io.Writer) error {
+		w.Write([]byte("partial garbage"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the callback's", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "precious" {
+		t.Fatalf("destination changed to %q on a failed write", got)
+	}
+	assertNoStrays(t, dir, "out.bin")
+}
+
+// TestWriteFileCrashMatrix kills the write at every byte offset of the
+// payload and checks the crash-consistency contract: the destination is
+// either absent (commit never happened) or holds the complete payload —
+// never a torn prefix.
+func TestWriteFileCrashMatrix(t *testing.T) {
+	payload := []byte("MDZC crash consistency payload 0123456789")
+	for n := 0; n <= len(payload); n++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "out.bin")
+		err := WriteFile(path, Options{
+			NoSync:     true,
+			WrapWriter: func(w io.Writer) io.Writer { return faultio.NewWriter(w).AbortAt(int64(n)) },
+		}, func(w io.Writer) error {
+			_, err := w.Write(payload)
+			return err
+		})
+		got, rerr := os.ReadFile(path)
+		switch {
+		case n < len(payload):
+			if !errors.Is(err, faultio.ErrAborted) {
+				t.Fatalf("abort at %d: err = %v, want ErrAborted", n, err)
+			}
+			if !os.IsNotExist(rerr) {
+				t.Fatalf("abort at %d: destination exists with %d bytes; want absent", n, len(got))
+			}
+		default: // n == len(payload): the full payload got through
+			if err != nil {
+				t.Fatalf("abort past the payload: %v", err)
+			}
+			if rerr != nil || string(got) != string(payload) {
+				t.Fatalf("destination = %q, %v; want the full payload", got, rerr)
+			}
+		}
+		assertNoStrays(t, dir, "out.bin")
+	}
+}
+
+// TestWriteFileTornWriteNeverCommits models a torn write the producer never
+// observes (faultio Truncate): the staged bytes are short, but since the
+// callback "succeeded", safeio commits. This documents the boundary of the
+// contract — safeio guarantees atomic visibility of whatever the callback
+// streamed, it cannot detect payload-level lies. Wire-format CRCs are the
+// layer that catches this, which is exactly what mdzc -fsck verifies.
+func TestWriteFileTornWriteNeverCommits(t *testing.T) {
+	payload := []byte("0123456789")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	err := WriteFile(path, Options{
+		NoSync: true,
+		WrapWriter: func(w io.Writer) io.Writer {
+			return faultio.NewWriter(w, faultio.Fault{Kind: faultio.Truncate, Offset: 4})
+		},
+	}, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("torn write surfaced as %v; faultio models it as silent", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "0123" {
+		t.Fatalf("committed %q, %v; want the torn 4-byte prefix", got, rerr)
+	}
+}
+
+// assertNoStrays fails if the staged temp file survived in dir.
+func assertNoStrays(t *testing.T, dir, keep string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != keep {
+			t.Fatalf("stray staging file %q left behind", e.Name())
+		}
+	}
+}

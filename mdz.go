@@ -28,12 +28,14 @@
 package mdz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
 
 	"github.com/mdz/mdz/internal/bitstream"
+	"github.com/mdz/mdz/internal/budget"
 	"github.com/mdz/mdz/internal/core"
 	"github.com/mdz/mdz/internal/kmeans"
 	"github.com/mdz/mdz/internal/lossless"
@@ -141,6 +143,25 @@ type Config struct {
 	// auto-detect the version per stream and per block, so decompression
 	// needs no matching setting.
 	FormatVersion int
+	// Context, when non-nil, is polled cooperatively by every compress
+	// operation that doesn't take its own context (CompressBatch, Compress,
+	// Writer.WriteFrame/Close): once it is cancelled or past its deadline,
+	// in-flight batches abort within a few shard row kernels and return
+	// ctx.Err(). The explicit-context variants (CompressBatchContext,
+	// CompressContext) ignore this field in favour of their argument.
+	// Cancellation never corrupts compressor state: a cancelled batch can
+	// be retried and produces the same bytes an uncancelled run would.
+	Context context.Context
+	// MaxDecodeBytes caps the decoder-side in-flight allocations driven by
+	// claimed lengths in untrusted input (output matrices, entropy section
+	// counts, code tables, backend original sizes, checkpoint state). It is
+	// consulted by everything built from this Config that decodes —
+	// DecompressorOptions/ReaderOptions carry their own copies for the
+	// decode-only entry points. 0 (the default) means unlimited; rejections
+	// match ErrBudgetExceeded and are counted in telemetry as
+	// "budget.rejections". The cap is per concurrent operation set, not per
+	// block: parallel shards draw from one shared ceiling.
+	MaxDecodeBytes int64
 	// Parallel is superseded by Workers and retained for compatibility:
 	// axis-level parallelism is now governed by the worker pool, which
 	// defaults to GOMAXPROCS. Output bytes are unaffected either way.
@@ -162,10 +183,12 @@ func (c Config) workers() int {
 // blocks in the same order. A Compressor must not be used from multiple
 // goroutines concurrently (Config.Workers parallelizes internally).
 type Compressor struct {
-	cfg  Config
-	pool *pool.Pool
-	enc  [3]*core.Encoder
-	reg  *telemetry.Registry // nil unless cfg.Telemetry
+	cfg       Config
+	pool      *pool.Pool
+	enc       [3]*core.Encoder
+	reg       *telemetry.Registry // nil unless cfg.Telemetry
+	cancelled *telemetry.Counter  // "pipeline.cancelled_runs"; nil-safe
+	faultHook func(op string, shard int)
 }
 
 // NewCompressor validates cfg and returns a Compressor.
@@ -188,12 +211,23 @@ func NewCompressor(cfg Config) (*Compressor, error) {
 	if v := cfg.FormatVersion; v != 0 && v != 2 && v != 3 {
 		return nil, fmt.Errorf("mdz: FormatVersion must be 0, 2 or 3, got %d", v)
 	}
+	if cfg.MaxDecodeBytes < 0 {
+		return nil, fmt.Errorf("mdz: MaxDecodeBytes must be non-negative, got %d", cfg.MaxDecodeBytes)
+	}
 	c := &Compressor{cfg: cfg, pool: pool.New(cfg.workers())}
 	if cfg.Telemetry {
 		c.reg = telemetry.NewRegistry()
 		c.pool.SetTelemetry(pool.Instruments(c.reg))
 	}
+	c.cancelled = c.reg.Counter("pipeline.cancelled_runs")
 	return c, nil
+}
+
+// noteCancelled counts a run that surfaced a context cancellation.
+func noteCancelled(counter *telemetry.Counter, err error) {
+	if isCancellation(err) {
+		counter.Inc()
+	}
 }
 
 // params builds per-axis core parameters. For ValueRange mode the absolute
@@ -234,7 +268,20 @@ func (c *Compressor) params(axis int, firstBatch [][]float64) (core.Params, erro
 		Pool:          c.pool,
 		Tel:           core.EncoderInstruments(c.reg, axisName(axis)),
 		FormatVersion: c.cfg.FormatVersion,
+		FaultHook:     c.faultHook,
 	}, nil
+}
+
+// setFaultHook installs the shard-level fault-injection seam on the axis
+// encoders — both those already built and, via params, those built later
+// (test use only; see core.Params.FaultHook).
+func (c *Compressor) setFaultHook(f func(op string, shard int)) {
+	c.faultHook = f
+	for _, enc := range c.enc {
+		if enc != nil {
+			enc.SetFaultHook(f)
+		}
+	}
 }
 
 // axisName names an axis index for telemetry and error messages.
@@ -264,6 +311,16 @@ func checkFinite(axis int, batch [][]float64) error {
 // outlier path; ±Inf in an axis's first batch is rejected with
 // ErrNonFinite (see checkFinite).
 func (c *Compressor) CompressBatch(frames []Frame) ([]byte, error) {
+	return c.CompressBatchContext(c.cfg.Context, frames)
+}
+
+// CompressBatchContext is CompressBatch with explicit cooperative
+// cancellation (overriding Config.Context; nil disables it). On
+// cancellation it returns ctx.Err() — context.Canceled or
+// context.DeadlineExceeded — with all pooled scratch returned and encoder
+// state unchanged, so the same batch can be compressed again on this
+// Compressor with byte-identical output.
+func (c *Compressor) CompressBatchContext(ctx context.Context, frames []Frame) ([]byte, error) {
 	if len(frames) == 0 {
 		return nil, errors.New("mdz: empty batch")
 	}
@@ -303,12 +360,13 @@ func (c *Compressor) CompressBatch(frames []Frame) ([]byte, error) {
 	// pool. Blocks are assembled in axis order, so output bytes are
 	// independent of the worker count.
 	var blks [3][]byte
-	err := c.pool.Run(3, func(axis int) error {
-		blk, err := c.enc[axis].EncodeBatch(series[axis])
+	err := c.pool.RunContext(ctx, 3, func(axis int) error {
+		blk, err := c.enc[axis].EncodeBatchContext(ctx, series[axis])
 		blks[axis] = blk
 		return err
 	})
 	if err != nil {
+		noteCancelled(c.cancelled, err)
 		return nil, err
 	}
 	out := []byte{'M', 'D', 'Z', 'S'}
@@ -362,9 +420,12 @@ func axisSeries(frames []Frame, axis int) [][]float64 {
 
 // Decompressor reconstructs frames from blocks, in encode order.
 type Decompressor struct {
-	pool *pool.Pool
-	dec  [3]*core.Decoder
-	reg  *telemetry.Registry // nil unless opted in
+	pool      *pool.Pool
+	dec       [3]*core.Decoder
+	reg       *telemetry.Registry // nil unless opted in
+	bud       *budget.Budget      // nil = unlimited
+	ctx       context.Context     // default context for DecompressBatch; may be nil
+	cancelled *telemetry.Counter  // "pipeline.cancelled_runs"; nil-safe
 }
 
 // DecompressorOptions configures a Decompressor.
@@ -375,6 +436,14 @@ type DecompressorOptions struct {
 	// Telemetry enables decode-side instrumentation, read through
 	// Decompressor.Telemetry / Decompressor.TelemetryRegistry.
 	Telemetry bool
+	// Context, when non-nil, is polled by DecompressBatch/Decompress calls
+	// that don't take their own context; the explicit-context variants
+	// override it. See Config.Context for semantics.
+	Context context.Context
+	// MaxDecodeBytes caps in-flight decode allocations driven by claimed
+	// lengths in untrusted blocks; rejections match ErrBudgetExceeded.
+	// 0 means unlimited. See Config.MaxDecodeBytes.
+	MaxDecodeBytes int64
 }
 
 // NewDecompressor returns a Decompressor with default settings (a worker
@@ -392,21 +461,40 @@ func NewDecompressorWorkers(workers int) *Decompressor {
 
 // NewDecompressorWith returns a Decompressor configured by opts.
 func NewDecompressorWith(opts DecompressorOptions) *Decompressor {
-	d := &Decompressor{pool: pool.New(opts.Workers)}
+	d := &Decompressor{pool: pool.New(opts.Workers), ctx: opts.Context}
 	if opts.Telemetry {
 		d.reg = telemetry.NewRegistry()
 		d.pool.SetTelemetry(pool.Instruments(d.reg))
 	}
+	d.cancelled = d.reg.Counter("pipeline.cancelled_runs")
+	d.bud = budget.New(opts.MaxDecodeBytes)
+	d.bud.SetTelemetry(d.reg.Counter("budget.rejections"))
 	tel := core.DecoderInstruments(d.reg)
 	for i := range d.dec {
-		d.dec[i] = core.NewDecoder(core.Params{Backend: lossless.LZ{}, Pool: d.pool, Tel: tel})
+		d.dec[i] = core.NewDecoder(core.Params{Backend: lossless.LZ{}, Pool: d.pool, Tel: tel, Budget: d.bud})
 	}
 	return d
+}
+
+// setFaultHook installs the shard-level fault-injection seam on all three
+// axis decoders (test use only; see core.Params.FaultHook).
+func (d *Decompressor) setFaultHook(f func(op string, shard int)) {
+	for _, dec := range d.dec {
+		dec.SetFaultHook(f)
+	}
 }
 
 // DecompressBatch reconstructs the frames of one block, verifying its
 // integrity checksum first.
 func (d *Decompressor) DecompressBatch(blk []byte) ([]Frame, error) {
+	return d.DecompressBatchContext(d.ctx, blk)
+}
+
+// DecompressBatchContext is DecompressBatch with explicit cooperative
+// cancellation (overriding DecompressorOptions.Context; nil disables it).
+// On cancellation it returns ctx.Err() with decoder state unchanged, so
+// the same block can be decoded again.
+func (d *Decompressor) DecompressBatchContext(ctx context.Context, blk []byte) ([]Frame, error) {
 	if len(blk) < 4 || string(blk[:4]) != "MDZS" {
 		return nil, fmt.Errorf("%w: not an MDZ block", ErrCorruptBlock)
 	}
@@ -433,12 +521,13 @@ func (d *Decompressor) DecompressBatch(blk []byte) ([]Frame, error) {
 	// Decode the three axes concurrently; each axis fans out further over
 	// its particle shards on the same pool.
 	var series [3][][]float64
-	err = d.pool.Run(3, func(axis int) error {
-		out, derr := d.dec[axis].DecodeBatch(secs[axis])
+	err = d.pool.RunContext(ctx, 3, func(axis int) error {
+		out, derr := d.dec[axis].DecodeBatchContext(ctx, secs[axis])
 		series[axis] = out
 		return derr
 	})
 	if err != nil {
+		noteCancelled(d.cancelled, err)
 		return nil, mapBlockErr(err)
 	}
 	bs := len(series[0])
@@ -504,11 +593,17 @@ func Compress(frames []Frame, cfg Config) ([]byte, error) {
 // call it on a fresh Compressor (its main advantage over the package-level
 // helper is access to Telemetry afterwards).
 func (c *Compressor) Compress(frames []Frame) ([]byte, error) {
+	return c.CompressContext(c.cfg.Context, frames)
+}
+
+// CompressContext is Compress with explicit cooperative cancellation
+// (overriding Config.Context; nil disables it).
+func (c *Compressor) CompressContext(ctx context.Context, frames []Frame) ([]byte, error) {
 	out := []byte{'M', 'D', 'Z', 'F'}
 	batches := Batch(frames, c.cfg.BufferSize)
 	out = bitstream.AppendUvarint(out, uint64(len(batches)))
 	for _, b := range batches {
-		blk, err := c.CompressBatch(b)
+		blk, err := c.CompressBatchContext(ctx, b)
 		if err != nil {
 			return nil, err
 		}
@@ -526,6 +621,12 @@ func Decompress(stream []byte) ([]Frame, error) {
 // Decompressor. Like DecompressBatch it advances decoder state, so call it
 // on a fresh Decompressor.
 func (d *Decompressor) Decompress(stream []byte) ([]Frame, error) {
+	return d.DecompressContext(d.ctx, stream)
+}
+
+// DecompressContext is Decompress with explicit cooperative cancellation
+// (overriding DecompressorOptions.Context; nil disables it).
+func (d *Decompressor) DecompressContext(ctx context.Context, stream []byte) ([]Frame, error) {
 	if len(stream) < 4 || string(stream[:4]) != "MDZF" {
 		return nil, fmt.Errorf("%w: not an MDZ stream", ErrCorruptBlock)
 	}
@@ -543,7 +644,7 @@ func (d *Decompressor) Decompress(stream []byte) ([]Frame, error) {
 		if err != nil {
 			return nil, mapBlockErr(err)
 		}
-		batch, err := d.DecompressBatch(blk)
+		batch, err := d.DecompressBatchContext(ctx, blk)
 		if err != nil {
 			return nil, err
 		}

@@ -2,12 +2,17 @@ package mdz
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"os"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
+
+	"github.com/mdz/mdz/internal/pool"
 )
 
 // TestWorkerCountInvariance: output bytes must be a pure function of
@@ -261,5 +266,164 @@ func TestConcurrentCompressorsSharedDecompressorPool(t *testing.T) {
 	close(errc)
 	for err := range errc {
 		t.Error(err)
+	}
+}
+
+// waitNoExtraGoroutines polls until the goroutine count returns to the
+// recorded baseline, failing if pipeline goroutines outlive their run. A
+// hand-rolled goleak: the pool guarantees started tasks are awaited, so any
+// excess past the baseline is a leak.
+func waitNoExtraGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), base)
+}
+
+// TestCompressContextDeadline cancels an 8-shard x 8-worker compression by
+// deadline and checks the whole containment contract: the typed error, the
+// response latency, no leaked goroutines, and a byte-identical retry on the
+// same Compressor afterwards.
+func TestCompressContextDeadline(t *testing.T) {
+	frames := makeFrames(16, 4096, 60)
+	cfg := Config{ErrorBound: 1e-3, Workers: 8, Shards: 8, Telemetry: true}
+	ref, err := NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.CompressBatch(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+	c, err := NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow every shard entry down so the batch cannot finish inside the
+	// deadline regardless of machine speed; rows keep polling in between.
+	c.setFaultHook(func(op string, shard int) { time.Sleep(10 * time.Millisecond) })
+	const timeout = 25 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	start := time.Now()
+	_, err = c.CompressBatchContext(ctx, frames)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if late := elapsed - timeout; late > 100*time.Millisecond {
+		t.Fatalf("returned %v past the deadline, want within 100ms", late)
+	}
+	waitNoExtraGoroutines(t, base)
+	if got := c.Telemetry().Counters["pipeline.cancelled_runs"]; got == 0 {
+		t.Error("pipeline.cancelled_runs not counted")
+	}
+
+	// State must not have advanced: the retried batch is byte-identical to
+	// an uncancelled first batch.
+	c.setFaultHook(nil)
+	got, err := c.CompressBatch(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("retry after cancellation differs from an uncancelled run")
+	}
+}
+
+// TestCompressCancelMidADPTrial cancels from inside a shard encode of the
+// ADP evaluation round — the deepest point of the trial fan-out — and
+// checks clean unwinding plus an identical retry.
+func TestCompressCancelMidADPTrial(t *testing.T) {
+	frames := makeFrames(10, 2048, 64)
+	cfg := Config{ErrorBound: 1e-3, Method: ADP, Workers: 8, Shards: 8}
+	ref, _ := NewCompressor(cfg)
+	want, err := ref.CompressBatch(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+	c, _ := NewCompressor(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	c.setFaultHook(func(op string, shard int) {
+		if op == "encode_shard" {
+			once.Do(cancel)
+		}
+	})
+	if _, err := c.CompressBatchContext(ctx, frames); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitNoExtraGoroutines(t, base)
+
+	c.setFaultHook(nil)
+	got, err := c.CompressBatch(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("retry after mid-trial cancellation differs from an uncancelled run")
+	}
+}
+
+// TestShardPanicSurfacesAsPanicError injects a panic into one shard of the
+// encode and decode fan-outs: the pool must contain it, surface it as a
+// typed *pool.PanicError with the stack attached, count it in telemetry,
+// and leave the pipeline reusable.
+func TestShardPanicSurfacesAsPanicError(t *testing.T) {
+	frames := makeFrames(8, 2048, 65)
+	cfg := Config{ErrorBound: 1e-3, Workers: 4, Shards: 4, Telemetry: true}
+
+	c, err := NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.setFaultHook(func(op string, shard int) {
+		if op == "encode_shard" && shard == 1 {
+			panic("injected encode fault")
+		}
+	})
+	_, err = c.CompressBatch(frames)
+	var pe *pool.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("encode err = %v, want *pool.PanicError", err)
+	}
+	if pe.Value != "injected encode fault" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = {Value: %v, stack %d bytes}", pe.Value, len(pe.Stack))
+	}
+	if got := c.Telemetry().Counters["pool.panics_recovered"]; got == 0 {
+		t.Error("pool.panics_recovered not counted on encode")
+	}
+	c.setFaultHook(nil)
+	blk, err := c.CompressBatch(frames)
+	if err != nil {
+		t.Fatalf("compressor unusable after contained panic: %v", err)
+	}
+
+	d := NewDecompressorWith(DecompressorOptions{Workers: 4, Telemetry: true})
+	d.setFaultHook(func(op string, shard int) {
+		if op == "decode_shard" && shard == 0 {
+			panic("injected decode fault")
+		}
+	})
+	_, err = d.DecompressBatch(blk)
+	if !errors.As(err, &pe) {
+		t.Fatalf("decode err = %v, want *pool.PanicError", err)
+	}
+	if got := d.Telemetry().Counters["pool.panics_recovered"]; got == 0 {
+		t.Error("pool.panics_recovered not counted on decode")
+	}
+	d.setFaultHook(nil)
+	if _, err := d.DecompressBatch(blk); err != nil {
+		t.Fatalf("decompressor unusable after contained panic: %v", err)
 	}
 }

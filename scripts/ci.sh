@@ -13,6 +13,16 @@ go build ./...
 go test ./...
 go test -race ./...
 
+# Fault-containment matrix under the race detector, twice: stream
+# corruption recovery, the CLI crash-consistency sweep, cancellation and
+# panic isolation all unwind work across goroutines, and a second run
+# varies the schedules. (The full -race suite above covers these once;
+# this repeats exactly the containment surface.) `make chaos` is the
+# longer local version with an every-byte crash sweep.
+go test -race -count=2 \
+  -run 'CrashMatrix|StreamFault|Resync|Cancel|ContextDeadline|Panic|Budget|MaxDecode' \
+  . ./cmd/mdzc
+
 # One-iteration benchmark smoke: compiles and executes every benchmark body
 # once (including the telemetry-enabled throughput variants) so bit-rotted
 # benchmark code fails the gate without paying for real measurement runs.

@@ -3,6 +3,7 @@ package mdz
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -283,6 +284,18 @@ type ReaderOptions struct {
 	// Telemetry enables decode-side instrumentation, including live
 	// mirrors of the SalvageStats counters; read it via Reader.Telemetry.
 	Telemetry bool
+	// Context, when non-nil, cancels reading cooperatively: once it is
+	// done, ReadFrame returns ctx.Err() — even in Resync mode, because
+	// cancellation is an environment outcome, not stream damage. The error
+	// is sticky; a cancelled Reader cannot resume.
+	Context context.Context
+	// MaxDecodeBytes caps in-flight decode allocations driven by claimed
+	// lengths in untrusted frames (see Config.MaxDecodeBytes). 0 means
+	// unlimited. In strict mode a rejection surfaces as ErrBudgetExceeded;
+	// in Resync mode the over-budget frame is recorded in SalvageStats and
+	// skipped like a corrupt one, since it cannot be delivered under this
+	// budget either way.
+	MaxDecodeBytes int64
 }
 
 // LostRange is a half-open range [From, To) of frame sequence numbers that
@@ -334,6 +347,7 @@ type Reader struct {
 	opened bool
 	v2     bool
 	resync bool
+	ctx    context.Context // nil disables cooperative cancellation
 
 	nextSeq   uint32 // expected sequence of the next frame
 	await     bool   // resync: drop data frames until the next checkpoint
@@ -381,11 +395,17 @@ func NewReaderWorkers(r io.Reader, workers int) *Reader {
 
 // NewReaderWith returns a Reader configured by opts.
 func NewReaderWith(r io.Reader, opts ReaderOptions) *Reader {
-	d := NewDecompressorWith(DecompressorOptions{Workers: opts.Workers, Telemetry: opts.Telemetry})
+	d := NewDecompressorWith(DecompressorOptions{
+		Workers:        opts.Workers,
+		Telemetry:      opts.Telemetry,
+		Context:        opts.Context,
+		MaxDecodeBytes: opts.MaxDecodeBytes,
+	})
 	return &Reader{
 		d:      d,
 		src:    r,
 		resync: opts.Resync,
+		ctx:    opts.Context,
 		tel:    newStreamReaderTel(d.reg),
 	}
 }
@@ -485,6 +505,11 @@ func (r *Reader) ReadFrame() (Frame, error) {
 		}
 	}
 	for len(r.queue) == 0 {
+		if r.ctx != nil {
+			if cerr := r.ctx.Err(); cerr != nil {
+				return Frame{}, r.fail(cerr)
+			}
+		}
 		var err error
 		if r.v2 {
 			err = r.nextBatchV2()
@@ -552,6 +577,12 @@ func (r *Reader) nextBatchV1() error {
 	batch, err := r.d.DecompressBatch(blk)
 	r.discard(int(n))
 	if err != nil {
+		if isCancellation(err) {
+			return err
+		}
+		if !r.resync && errors.Is(err, ErrBudgetExceeded) {
+			return err
+		}
 		return r.v1Corrupt(&CorruptBlockError{Block: uint32(r.blocks), Offset: blockOff, Cause: err})
 	}
 	r.blocks++
@@ -782,8 +813,14 @@ func (r *Reader) nextBatchV2() error {
 			}
 			batch, derr := r.d.DecompressBatch(fp.payload)
 			if derr != nil {
+				if isCancellation(derr) {
+					return derr // environment, not damage: surfaces in any mode
+				}
 				cbe := &CorruptBlockError{Block: fp.seq, Offset: frameOff, Cause: derr}
 				if !r.resync {
+					if errors.Is(derr, ErrBudgetExceeded) {
+						return derr // resource rejection, not a corrupt block
+					}
 					return cbe
 				}
 				r.recordCorrupt(cbe)
@@ -800,9 +837,15 @@ func (r *Reader) nextBatchV2() error {
 
 		case frameCheckpoint:
 			st := &CheckpointState{}
-			if derr := st.UnmarshalBinary(fp.payload); derr != nil {
+			tx := r.d.bud.Begin()
+			derr := st.unmarshalTx(fp.payload, tx)
+			tx.Close()
+			if derr != nil {
 				cbe := &CorruptBlockError{Block: fp.seq, Offset: frameOff, Cause: derr}
 				if !r.resync {
+					if errors.Is(derr, ErrBudgetExceeded) {
+						return derr
+					}
 					return cbe
 				}
 				r.recordCorrupt(cbe)

@@ -131,3 +131,47 @@ func FuzzCheckpointUnmarshal(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBatch throws arbitrary bytes at the block decoder under a tight
+// decode-memory budget. Every outcome must be a typed sentinel — corrupt,
+// truncated, desync or budget rejection — and forged giant lengths must be
+// rejected by accounting, never by crashing or allocating.
+func FuzzDecodeBatch(f *testing.F) {
+	seed := func(cfg Config, m, n int) []byte {
+		frames := makeFrames(m, n, 64)
+		c, err := NewCompressor(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blk, err := c.CompressBatch(frames)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return blk
+	}
+	v2 := seed(Config{ErrorBound: 1e-3}, 6, 40)
+	f.Add(v2)
+	f.Add(seed(Config{ErrorBound: 1e-3, FormatVersion: 3}, 6, 40))
+	f.Add(seed(Config{ErrorBound: 1e-3, Shards: 3}, 8, 96))
+	flip := append([]byte(nil), v2...)
+	flip[len(flip)/2] ^= 0x40
+	f.Add(flip)
+	f.Add(v2[:len(v2)/2])
+	f.Add([]byte("MDZS"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		d := NewDecompressorWith(DecompressorOptions{Workers: 1, MaxDecodeBytes: 1 << 20})
+		_, err := d.DecompressBatch(data)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, ErrCorruptBlock) && !errors.Is(err, ErrTruncated) &&
+			!errors.Is(err, ErrStateDesync) && !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("untyped error: %v", err)
+		}
+	})
+}
