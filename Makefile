@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare bench-lossless fuzz-short chaos
+.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare bench-lossless fuzz-short chaos loadtest
 
 all: build
 
@@ -61,6 +61,13 @@ chaos:
 		-run 'CrashMatrix|StreamFault|StreamFragmented|Resync|Cancel|ContextDeadline|Panic|Budget|MaxDecode|NoFsync|Salvage' \
 		. ./cmd/mdzc
 	$(GO) test -race -count=2 ./internal/faultio ./internal/safeio ./internal/pool ./internal/budget
+
+# Daemon soak: a few hundred concurrent streaming sessions against an
+# in-process mdzd under the race detector, every tenth container verified
+# byte-identical to a local library run. ci.sh runs a smaller smoke; this
+# is the longer local version.
+loadtest:
+	$(GO) run -race ./cmd/mdzload -spawn -sessions 256 -frames 40 -atoms 300 -c 32 -verify 0.1
 
 # Dictionary-coder hot path: LZ and byte-Huffman micro-benchmarks (with
 # alloc counts), the pooled flate/zlib writers, and the pipeline-payload

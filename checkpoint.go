@@ -177,6 +177,123 @@ func (st *CheckpointState) unmarshalTx(data []byte, tx *budget.Tx) error {
 	return nil
 }
 
+// writerStateVersion versions the WriterState wire encoding.
+const writerStateVersion = 1
+
+// Writer-state flag bits.
+const (
+	writerStateOpened     = 1 << 0
+	writerStateCheckpoint = 1 << 1
+)
+
+// maxWriterStatePending caps the claimed pending-snapshot dimensions a
+// WriterState payload may carry before allocation.
+const maxWriterStatePending = 1 << 20
+
+// MarshalBinary encodes the writer state into a self-contained payload —
+// the unit a draining server persists per live session.
+func (st *WriterState) MarshalBinary() ([]byte, error) {
+	out := []byte{writerStateVersion}
+	var flags byte
+	if st.Opened {
+		flags |= writerStateOpened
+	}
+	if st.Checkpoint != nil {
+		flags |= writerStateCheckpoint
+	}
+	out = append(out, flags)
+	out = bitstream.AppendUvarint(out, uint64(st.Seq))
+	for _, v := range []int64{st.Blocks, st.Frames, st.RawBytes, st.CompBytes} {
+		if v < 0 {
+			return nil, fmt.Errorf("mdz: negative writer-state counter %d", v)
+		}
+		out = bitstream.AppendUvarint(out, uint64(v))
+	}
+	if st.Checkpoint != nil {
+		cp, err := st.Checkpoint.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = bitstream.AppendSection(out, cp)
+	}
+	out = bitstream.AppendUvarint(out, uint64(len(st.Pending)))
+	for _, f := range st.Pending {
+		n := f.N()
+		if len(f.Y) != n || len(f.Z) != n {
+			return nil, errors.New("mdz: pending frame with inconsistent axis lengths")
+		}
+		out = bitstream.AppendUvarint(out, uint64(n))
+		out = bitstream.AppendFloat64s(out, f.X)
+		out = bitstream.AppendFloat64s(out, f.Y)
+		out = bitstream.AppendFloat64s(out, f.Z)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary inverts MarshalBinary. Malformed payloads report
+// ErrCorruptBlock.
+func (st *WriterState) UnmarshalBinary(data []byte) error {
+	br := bitstream.NewByteReader(data)
+	ver, err := br.ReadByte()
+	if err != nil || ver != writerStateVersion {
+		return fmt.Errorf("%w: unsupported writer-state version", ErrCorruptBlock)
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return mapBlockErr(err)
+	}
+	st.Opened = flags&writerStateOpened != 0
+	seq, err := br.ReadUvarint()
+	if err != nil || seq > 1<<32-1 {
+		return fmt.Errorf("%w: bad writer-state sequence", ErrCorruptBlock)
+	}
+	st.Seq = uint32(seq)
+	for _, dst := range []*int64{&st.Blocks, &st.Frames, &st.RawBytes, &st.CompBytes} {
+		v, err := br.ReadUvarint()
+		if err != nil || v > 1<<62 {
+			return fmt.Errorf("%w: bad writer-state counter", ErrCorruptBlock)
+		}
+		*dst = int64(v)
+	}
+	st.Checkpoint = nil
+	if flags&writerStateCheckpoint != 0 {
+		sec, err := br.ReadSection()
+		if err != nil {
+			return mapBlockErr(err)
+		}
+		st.Checkpoint = &CheckpointState{}
+		if err := st.Checkpoint.UnmarshalBinary(sec); err != nil {
+			return err
+		}
+	}
+	np, err := br.ReadUvarint()
+	if err != nil || np > maxWriterStatePending {
+		return fmt.Errorf("%w: bad writer-state pending count", ErrCorruptBlock)
+	}
+	st.Pending = make([]Frame, np)
+	for i := range st.Pending {
+		n, err := br.ReadUvarint()
+		if err != nil || n > maxWriterStatePending {
+			return fmt.Errorf("%w: bad writer-state frame length", ErrCorruptBlock)
+		}
+		f := Frame{}
+		for _, axis := range []*[]float64{&f.X, &f.Y, &f.Z} {
+			raw, err := br.ReadBytes(8 * int(n))
+			if err != nil {
+				return mapBlockErr(err)
+			}
+			if *axis, err = bitstream.DecodeFloat64s(nil, raw); err != nil {
+				return mapBlockErr(err)
+			}
+		}
+		st.Pending[i] = f
+	}
+	if br.Len() != 0 {
+		return fmt.Errorf("%w: trailing writer-state bytes", ErrCorruptBlock)
+	}
+	return nil
+}
+
 // ExportState snapshots the compressor's cross-batch state after at least
 // one compressed batch; it is what Writer embeds in checkpoint blocks. The
 // returned state shares nothing with the compressor.

@@ -141,26 +141,12 @@ func main() {
 	}
 }
 
-func parseMethod(s string) (mdz.Method, error) {
-	switch strings.ToUpper(s) {
-	case "ADP":
-		return mdz.ADP, nil
-	case "VQ":
-		return mdz.VQ, nil
-	case "VQT":
-		return mdz.VQT, nil
-	case "MT":
-		return mdz.MT, nil
-	}
-	return mdz.ADP, fmt.Errorf("unknown method %q", s)
-}
-
 func doCompress(f *cliFlags, o *obs) error {
 	in, out := f.compress, f.out
 	if out == "" {
 		return fmt.Errorf("-o required")
 	}
-	m, err := parseMethod(f.method)
+	m, err := mdz.ParseMethod(f.method)
 	if err != nil {
 		return err
 	}

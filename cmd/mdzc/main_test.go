@@ -199,6 +199,42 @@ func TestStatsJSONShape(t *testing.T) {
 	}
 }
 
+// TestStatsJSONBeforeAttach covers the failed-before-attach path: when the
+// command dies before its telemetry registry exists (missing input here),
+// the report must still be written, with an explicit "telemetry": null so
+// consumers can tell "no instrumentation ran" from "ran and counted zero".
+func TestStatsJSONBeforeAttach(t *testing.T) {
+	dir := t.TempDir()
+	statsPath := filepath.Join(dir, "stats.json")
+	f := &cliFlags{
+		compress: filepath.Join(dir, "no-such-trajectory.xyz"),
+		out:      filepath.Join(dir, "traj.mdz"),
+		eps:      1e-3, bs: 4, method: "ADP", statsJSON: statsPath,
+	}
+	o := &obs{statsJSON: statsPath}
+	o.report.Command = "compress"
+	if err := doCompress(f, o); err == nil {
+		t.Fatal("doCompress succeeded on a missing input")
+	}
+	o.finish()
+
+	raw, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatalf("stats-json not written on a pre-attach failure: %v", err)
+	}
+	var shape map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &shape); err != nil {
+		t.Fatalf("stats-json is not valid JSON: %v\n%s", err, raw)
+	}
+	tele, ok := shape["telemetry"]
+	if !ok {
+		t.Fatalf("stats-json omitted the telemetry key:\n%s", raw)
+	}
+	if string(tele) != "null" {
+		t.Errorf("telemetry = %s, want an explicit null", tele)
+	}
+}
+
 // TestMetricsEndpoint drives a compression with -metrics-addr on a loopback
 // port and scrapes all three surfaces: Prometheus text, expvar JSON, pprof.
 func TestMetricsEndpoint(t *testing.T) {
@@ -212,11 +248,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err := doCompress(f, o); err != nil {
 		t.Fatal(err)
 	}
-	if o.srv == nil || o.addr == "" {
+	if o.srv == nil || o.srv.Addr() == "" {
 		t.Fatal("metrics server did not start")
 	}
 	defer o.finish()
-	base := "http://" + o.addr
+	base := "http://" + o.srv.Addr()
 
 	get := func(path string) string {
 		t.Helper()

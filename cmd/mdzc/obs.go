@@ -6,9 +6,6 @@ import (
 	"expvar"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"runtime"
 	rpprof "runtime/pprof"
@@ -17,6 +14,7 @@ import (
 	"time"
 
 	mdz "github.com/mdz/mdz"
+	"github.com/mdz/mdz/internal/obshttp"
 	"github.com/mdz/mdz/internal/telemetry"
 )
 
@@ -31,8 +29,7 @@ type obs struct {
 	statsJSON   string
 
 	reg     *mdz.TelemetryRegistry
-	srv     *http.Server
-	addr    string // bound listener address once serving
+	srv     *obshttp.Server
 	cpuFile *os.File
 	report  statsReport
 }
@@ -127,23 +124,15 @@ func (o *obs) attach(reg *mdz.TelemetryRegistry) error {
 	if o.metricsAddr == "" {
 		return nil
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", telemetry.Handler(reg))
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	ln, err := net.Listen("tcp", o.metricsAddr)
+	srv, err := obshttp.Serve(o.metricsAddr, obshttp.Mux(reg), func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mdzc: "+format+"\n", args...)
+	})
 	if err != nil {
 		return err
 	}
-	o.addr = ln.Addr().String()
+	o.srv = srv
 	fmt.Fprintf(os.Stderr, "mdzc: serving metrics on http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n",
-		o.addr)
-	o.srv = &http.Server{Handler: mux}
-	go o.srv.Serve(ln)
+		srv.Addr())
 	return nil
 }
 
@@ -175,7 +164,9 @@ func (o *obs) finish() {
 	}
 	if o.srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-		o.srv.Shutdown(ctx)
+		if err := o.srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "mdzc: metrics listener shutdown:", err)
+		}
 		cancel()
 	}
 }
@@ -185,7 +176,13 @@ func (o *obs) writeStats() error {
 	rep := o.report
 	rep.StageNS = map[string]int64{}
 	rep.ADPWins = map[string]int64{}
-	rep.Telemetry = o.reg.Snapshot()
+	// A command can fail before its registry is attached (bad flags,
+	// missing input). The report is still written then, with an explicit
+	// "telemetry": null rather than a snapshot of nothing — consumers can
+	// distinguish "no instrumentation ran" from "ran and counted zero".
+	if o.reg != nil {
+		rep.Telemetry = o.reg.Snapshot()
+	}
 	if rep.Telemetry != nil {
 		for name, h := range rep.Telemetry.Histograms {
 			if stage, ok := strings.CutSuffix(name, ".ns"); ok && strings.Contains(stage, ".stage.") {

@@ -1,0 +1,116 @@
+// Command mdzd is the MDZ compression daemon: stateful streaming
+// compression sessions over HTTP.
+//
+// A client opens a session with a compression configuration, streams
+// snapshot frames in (raw little-endian records), and reads back either
+// the finished .mdz container or decoded frame ranges. Many tenants share
+// one process under global and per-session memory budgets; idle sessions
+// are evicted; SIGTERM drains every live session to -state so the next
+// process resumes them without losing an accepted frame.
+//
+//	mdzd -addr :8642 -admin-addr 127.0.0.1:8643 -state /var/lib/mdzd/state
+//
+// Quickstart against a running daemon:
+//
+//	curl -s localhost:8642/v1/sessions -d '{"error_bound":1e-3}'
+//	curl -s localhost:8642/v1/sessions/s00000001/frames --data-binary @frames.bin
+//	curl -s localhost:8642/v1/sessions/s00000001/close -X POST
+//	curl -s localhost:8642/v1/sessions/s00000001/stream -o traj.mdz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/mdz/mdz/internal/daemon"
+	"github.com/mdz/mdz/internal/obshttp"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8642", "service listen address")
+		adminAddr = flag.String("admin-addr", "", "admin listen address for /metrics, /debug/vars and /debug/pprof (empty = disabled)")
+		statePath = flag.String("state", "", "drain-state file: written on shutdown, restored (and consumed) on startup")
+
+		maxSessions = flag.Int("max-sessions", 1024, "maximum concurrently live sessions")
+		idleTimeout = flag.Duration("idle-timeout", 15*time.Minute, "evict sessions idle longer than this (0 = never)")
+		queueDepth  = flag.Int("queue", 4, "per-session ingest queue depth, in batches")
+		memGlobal   = flag.Int64("mem-global", 0, "global memory budget in bytes for queued frames and retained containers (0 = unlimited)")
+		memSession  = flag.Int64("mem-session", 0, "per-session memory cap in bytes (0 = unlimited)")
+		maxDecode   = flag.Int64("max-decode", 0, "decode-side allocation budget per operation in bytes (0 = unlimited)")
+
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before draining sessions")
+	)
+	flag.Parse()
+	if err := run(*addr, *adminAddr, daemon.Options{
+		MaxSessions:    *maxSessions,
+		IdleTimeout:    *idleTimeout,
+		QueueDepth:     *queueDepth,
+		MemGlobal:      *memGlobal,
+		MemPerSession:  *memSession,
+		MaxDecodeBytes: *maxDecode,
+		StatePath:      *statePath,
+		Logf:           logf,
+	}, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "mdzd:", err)
+		os.Exit(1)
+	}
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mdzd: "+format+"\n", args...)
+}
+
+func run(addr, adminAddr string, opts daemon.Options, drainTimeout time.Duration) error {
+	srv, err := daemon.New(opts)
+	if err != nil {
+		return err
+	}
+
+	api, err := obshttp.Serve(addr, srv.Handler(), logf)
+	if err != nil {
+		return err
+	}
+	logf("serving on http://%s", api.Addr())
+
+	var admin *obshttp.Server
+	if adminAddr != "" {
+		admin, err = obshttp.Serve(adminAddr, obshttp.Mux(srv.Registry()), logf)
+		if err != nil {
+			return err
+		}
+		logf("admin on http://%s/metrics", admin.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	logf("received %v, draining", got)
+
+	// Stop accepting connections, let in-flight requests finish, then
+	// drain sessions to disk and exit.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := api.Shutdown(ctx); err != nil && err != http.ErrServerClosed {
+		logf("service shutdown: %v", err)
+	}
+	if err := srv.Drain(); err != nil {
+		return err
+	}
+	srv.Close()
+	if admin != nil {
+		actx, acancel := context.WithTimeout(context.Background(), time.Second)
+		defer acancel()
+		if err := admin.Shutdown(actx); err != nil {
+			logf("admin shutdown: %v", err)
+		}
+	}
+	logf("bye")
+	return nil
+}

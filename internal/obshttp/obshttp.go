@@ -1,0 +1,89 @@
+// Package obshttp is the admin/observability HTTP stack shared by the mdz
+// front ends (mdzc's -metrics-addr listener, mdzd's admin listener): a mux
+// exposing Prometheus metrics, expvar and pprof, and a managed server whose
+// background Serve loop reports its errors instead of dropping them.
+package obshttp
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"github.com/mdz/mdz/internal/telemetry"
+)
+
+// Logf is the destination for serve-loop diagnostics; it follows the
+// log.Printf contract. A nil Logf discards.
+type Logf func(format string, args ...any)
+
+// Mux builds the standard admin mux: /metrics renders the given registries
+// in Prometheus text format, /debug/vars serves expvar, and /debug/pprof/*
+// serves the runtime profiler endpoints.
+func Mux(regs ...*telemetry.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Handler(regs...))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server owns one background-serving HTTP listener.
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	addr string
+	done chan struct{}
+	err  error // serve-loop exit cause, valid after done closes
+}
+
+// Serve binds addr (host:port; port 0 picks a free one) and serves h in a
+// background goroutine. A serve-loop failure — anything other than the
+// ErrServerClosed that a clean Shutdown produces — is reported through logf
+// the moment it happens, so a dying admin listener is no longer silent.
+func Serve(addr string, h http.Handler, logf Logf) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: h},
+		ln:   ln,
+		addr: ln.Addr().String(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.err = err
+			if logf != nil {
+				logf("admin listener on %s failed: %v", s.addr, err)
+			}
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listener address (with the concrete port).
+func (s *Server) Addr() string { return s.addr }
+
+// Shutdown gracefully stops the server, waits for the serve loop to exit,
+// and returns the first failure from either: an unclean serve-loop death or
+// a shutdown that could not complete within ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+	}
+	if s.err != nil {
+		return s.err
+	}
+	return err
+}

@@ -1,0 +1,89 @@
+package obshttp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mdz/mdz/internal/telemetry"
+)
+
+func TestServeAndCleanShutdown(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("demo.hits").Add(3)
+
+	var logged []string
+	s, err := Serve("127.0.0.1:0", Mux(reg), func(f string, a ...any) {
+		logged = append(logged, fmt.Sprintf(f, a...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "mdz_demo_hits_total 3") {
+		t.Fatalf("metrics response %d: %q", resp.StatusCode, body)
+	}
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("clean shutdown: %v", err)
+	}
+	if len(logged) != 0 {
+		t.Errorf("clean shutdown logged serve errors: %v", logged)
+	}
+}
+
+func TestServeLoopFailureIsLogged(t *testing.T) {
+	logc := make(chan string, 1)
+	s, err := Serve("127.0.0.1:0", http.NotFoundHandler(), func(f string, a ...any) {
+		logc <- fmt.Sprintf(f, a...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yank the listener out from under the serve loop: Serve returns the
+	// accept error (not ErrServerClosed), which must surface via logf and
+	// again from Shutdown.
+	s.ln.Close()
+	select {
+	case msg := <-logc:
+		if !strings.Contains(msg, s.Addr()) {
+			t.Errorf("serve-error log %q does not name the listener", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve-loop failure never reached logf")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Error("Shutdown reported a clean exit after the serve loop died")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("127.0.0.1:-1", nil, nil); err == nil {
+		t.Fatal("Serve bound an invalid address")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"strings"
 
 	"github.com/mdz/mdz/internal/bitstream"
 	"github.com/mdz/mdz/internal/budget"
@@ -64,6 +65,23 @@ const (
 	VQT = core.VQT
 	MT  = core.MT
 )
+
+// ParseMethod parses a method name — "ADP", "VQ", "VQT" or "MT",
+// case-insensitively — as accepted by the mdzc and mdzd front ends. The
+// empty string selects ADP, the paper's recommended default.
+func ParseMethod(s string) (Method, error) {
+	switch strings.ToUpper(s) {
+	case "", "ADP":
+		return ADP, nil
+	case "VQ":
+		return VQ, nil
+	case "VQT":
+		return VQT, nil
+	case "MT":
+		return MT, nil
+	}
+	return ADP, fmt.Errorf("mdz: unknown method %q", s)
+}
 
 // Sequence selects the quantization-code interleaving.
 type Sequence = core.Sequence

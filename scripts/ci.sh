@@ -34,6 +34,11 @@ go test -run '^$' -bench . -benchtime 1x .
 # that reuse.
 go test -race -run '^$' -bench . -benchtime 1x ./internal/bitstream ./internal/huffman
 
+# Daemon smoke: mdzload spawns an in-process mdzd and runs a couple dozen
+# concurrent streaming sessions, byte-comparing every container against a
+# local library run (-verify 1). `make loadtest` is the longer local soak.
+go run ./cmd/mdzload -spawn -sessions 24 -frames 16 -atoms 100 -c 8 -verify 1
+
 # Short fuzz smoke over every parser and differential fuzzer in the tree
 # (stream framing, checkpoint parsing, the v2-vs-v3 pipeline differential,
 # and the entropy/dictionary hot-path equivalence fuzzers). Ten seconds per

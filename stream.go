@@ -232,6 +232,137 @@ func (w *Writer) fail(err error) error {
 	return err
 }
 
+// Flush forwards every container byte buffered inside the Writer to the
+// underlying io.Writer. It does NOT flush the pending partial batch —
+// snapshots not yet compressed into a block stay pending until BufferSize
+// is reached or Close runs — so the flushed prefix always ends on a frame
+// boundary and is readable as a (trailerless) stream prefix. Long-running
+// servers call this between batches to keep their copy of the container
+// current for concurrent readers.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("mdz: Flush after Close")
+	}
+	if err := w.w.Flush(); err != nil {
+		return w.fail(err)
+	}
+	return nil
+}
+
+// WriterState captures a live Writer so stream production can resume in a
+// different process: the compressor checkpoint (nil until the first block
+// has been flushed), the container cursor (sequence, block and snapshot
+// counters), and the raw snapshots buffered but not yet compressed into a
+// block. Together with the container bytes written so far — which the
+// caller owns, since it owns the Writer's io.Writer — this is a complete
+// session-migration unit: ResumeWriter on the same byte prefix continues
+// the stream exactly where the exporting process stopped.
+type WriterState struct {
+	// Opened reports whether the stream magic has been written.
+	Opened bool
+	// Seq is the next frame sequence number.
+	Seq uint32
+	// Blocks and Frames are the data blocks and snapshots flushed so far.
+	Blocks, Frames int64
+	// RawBytes and CompBytes continue the Stats accounting.
+	RawBytes, CompBytes int64
+	// Checkpoint is the compressor's cross-batch state, nil before the
+	// first flushed block (the resumed compressor then starts fresh).
+	Checkpoint *CheckpointState
+	// Pending holds the snapshots buffered but not yet flushed into a
+	// block, in arrival order.
+	Pending []Frame
+}
+
+// ExportState snapshots the Writer for migration. It first flushes
+// buffered container bytes to the underlying io.Writer (as Flush does), so
+// the caller's copy of the container is complete up to the last emitted
+// frame; the Writer remains usable afterwards. The returned state shares
+// no mutable memory with the Writer and serializes with MarshalBinary.
+func (w *Writer) ExportState() (*WriterState, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	if w.closed {
+		return nil, errors.New("mdz: ExportState after Close")
+	}
+	if err := w.w.Flush(); err != nil {
+		return nil, w.fail(err)
+	}
+	st := &WriterState{
+		Opened: w.opened, Seq: w.seq,
+		Blocks: w.blocks, Frames: w.frames,
+		RawBytes: w.rawBytes, CompBytes: w.compBytes,
+	}
+	if w.blocks > 0 {
+		cp, err := w.c.ExportState()
+		if err != nil {
+			return nil, err
+		}
+		st.Checkpoint = cp
+	}
+	st.Pending = make([]Frame, len(w.pending))
+	for i, f := range w.pending {
+		st.Pending[i] = Frame{
+			X: append([]float64(nil), f.X...),
+			Y: append([]float64(nil), f.Y...),
+			Z: append([]float64(nil), f.Z...),
+		}
+	}
+	return st, nil
+}
+
+// ResumeWriter reconstructs a Writer from state exported by ExportState,
+// continuing a stream across a process boundary. dst must already hold the
+// container bytes the exporting Writer produced (ResumeWriter appends; it
+// never rewrites the prefix), and cfg must be equivalent to the exporting
+// Writer's Config — in particular the same FormatVersion. The resumed
+// Writer produces bytes identical to what the original would have written.
+func ResumeWriter(dst io.Writer, cfg Config, st *WriterState) (*Writer, error) {
+	if st == nil {
+		return nil, errors.New("mdz: ResumeWriter with nil state")
+	}
+	if st.Blocks > 0 && st.Checkpoint == nil {
+		return nil, fmt.Errorf("%w: writer state with %d blocks but no checkpoint", ErrStateDesync, st.Blocks)
+	}
+	if !st.Opened && (st.Seq != 0 || st.Blocks != 0 || st.Frames != 0 || len(st.Pending) > 0) {
+		return nil, fmt.Errorf("%w: writer state advanced before the stream magic", ErrStateDesync)
+	}
+	if st.Checkpoint != nil && normalizeFormat(st.Checkpoint.Format) != normalizeFormat(cfg.FormatVersion) {
+		return nil, fmt.Errorf("%w: checkpoint format v%d does not match Config.FormatVersion v%d",
+			ErrStateDesync, normalizeFormat(st.Checkpoint.Format), normalizeFormat(cfg.FormatVersion))
+	}
+	w, err := NewWriter(dst, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if st.Checkpoint != nil {
+		if err := w.c.ImportState(st.Checkpoint); err != nil {
+			return nil, err
+		}
+	}
+	w.opened = st.Opened
+	w.seq = st.Seq
+	w.blocks = st.Blocks
+	w.frames = st.Frames
+	w.rawBytes = st.RawBytes
+	w.compBytes = st.CompBytes
+	w.pending = append(w.pending, st.Pending...)
+	return w, nil
+}
+
+// normalizeFormat maps the default format selector 0 to the concrete wire
+// version it writes.
+func normalizeFormat(v int) int {
+	if v == 0 {
+		return 2
+	}
+	return v
+}
+
 // Close flushes the final partial batch, writes the stream trailer and
 // flushes the underlying buffer. If a prior frame already failed, Close
 // still flushes whatever was buffered (best-effort, so partial data is not
@@ -693,6 +824,16 @@ func (r *Reader) nextFrameV2() (frameParse, int64, error) {
 						Cause: fmt.Errorf("%w: frame sequence %d replayed (want %d)", ErrCorruptBlock, fp.seq, r.nextSeq),
 					}
 				}
+				// The frame is individually valid but its sequence number
+				// proves the wire replayed (or duplicated) writer output.
+				// That is real stream damage: account the event and the
+				// discarded wire bytes, so salvage reports never claim
+				// byte-exact recovery while silently dropping input.
+				r.recordCorrupt(&CorruptBlockError{
+					Block: fp.seq, Offset: frameOff,
+					Cause: fmt.Errorf("%w: frame sequence %d replayed (want %d)", ErrCorruptBlock, fp.seq, r.nextSeq),
+				})
+				r.countSkipped(int64(fp.size))
 				r.discard(fp.size)
 				continue
 			}
