@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare bench-lossless fuzz-short chaos loadtest
+.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare bench-scale bench-lossless fuzz-short chaos loadtest
 
 all: build
 
@@ -34,6 +34,12 @@ bench-entropy:
 
 bench-compare:
 	$(GO) run ./cmd/mdzbench -entropy -compare BENCH_entropy.json
+
+# Multi-worker scaling benchmark: Writer compress MB/s over the
+# Workers x Shards grid, baseline vs pipelined/amortized knobs. Refreshes
+# the committed report; CI diffs against it warn-only.
+bench-scale:
+	$(GO) run ./cmd/mdzbench -scale -json BENCH_scale.json
 
 # Short fuzz pass over every differential and parser fuzzer in the tree.
 # CI invokes this with FUZZTIME=10s; the default is a slightly longer local

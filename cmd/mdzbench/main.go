@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	mdzbench -exp fig12            # one experiment
-//	mdzbench -exp all              # everything (slow)
-//	mdzbench -list                 # show experiment ids
-//	mdzbench -exp fig13 -scale 0.5 # smaller datasets
-//	mdzbench -exp tab5 -csv        # machine-readable output
+//	mdzbench -exp fig12               # one experiment
+//	mdzbench -exp all                 # everything (slow)
+//	mdzbench -list                    # show experiment ids
+//	mdzbench -exp fig13 -datascale 0.5 # smaller datasets
+//	mdzbench -exp tab5 -csv           # machine-readable output
 //
 // The entropy-stage benchmark (per-stage MB/s, ns/value and compression
 // ratio per method) has its own mode:
@@ -15,6 +15,13 @@
 //	mdzbench -entropy                          # human-readable table
 //	mdzbench -entropy -json BENCH_entropy.json # also write the JSON report
 //	mdzbench -entropy -compare BENCH_entropy.json # diff against a report
+//
+// The multi-worker scaling benchmark (Writer compress MB/s over the
+// Workers x Shards grid, baseline vs pipelined/amortized knobs):
+//
+//	mdzbench -scale                         # human-readable table
+//	mdzbench -scale -json BENCH_scale.json  # also write the JSON report
+//	mdzbench -scale -compare BENCH_scale.json # warn-only diff against a report
 package main
 
 import (
@@ -30,16 +37,28 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment id (fig3..fig16, tab2..tab7) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids")
-	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	scale := flag.Float64("datascale", 1.0, "dataset scale factor")
 	seed := flag.Int64("seed", 42, "dataset generation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	outDir := flag.String("out", "", "also write <exp>.csv files into this directory")
 	entropy := flag.Bool("entropy", false, "run the entropy-stage benchmark")
-	jsonPath := flag.String("json", "", "with -entropy: write the machine-readable report to this path")
-	compare := flag.String("compare", "", "with -entropy: diff the run against a committed report")
+	scaleBench := flag.Bool("scale", false, "run the multi-worker scaling benchmark (Workers x Shards grid)")
+	jsonPath := flag.String("json", "", "with -entropy/-scale: write the machine-readable report to this path")
+	compare := flag.String("compare", "", "with -entropy/-scale: diff the run against a committed report")
 	format := flag.String("format", "all", "with -entropy: wire-format versions to measure (v2, v3 or all)")
 	flag.Parse()
 
+	if *entropy && *scaleBench {
+		fmt.Fprintln(os.Stderr, "mdzbench: -entropy and -scale are mutually exclusive")
+		os.Exit(2)
+	}
+	if *scaleBench {
+		if err := runScale(*jsonPath, *compare, bench.Config{Scale: *scale, Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "mdzbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *entropy {
 		var formats []int
 		switch *format {

@@ -36,6 +36,7 @@ type cliFlags struct {
 	out, method                      string
 	eps                              float64
 	bs, checkpoint, format           int
+	workers, shards, pipeline        int
 	salvage                          bool
 	noFsync                          bool
 	maxDecode                        int64
@@ -90,6 +91,21 @@ func validateFlags(f *cliFlags) error {
 	if f.maxDecode != 0 && f.compress != "" {
 		return fmt.Errorf("-max-decode bounds decoding; pair it with -d, -info or -fsck")
 	}
+	if f.workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", f.workers)
+	}
+	if f.shards < 0 {
+		return fmt.Errorf("-shards must be non-negative, got %d", f.shards)
+	}
+	if f.shards != 0 && f.compress == "" {
+		return fmt.Errorf("-shards shapes the compressed output; pair it with -c")
+	}
+	if f.pipeline < 0 {
+		return fmt.Errorf("-pipeline must be non-negative, got %d", f.pipeline)
+	}
+	if f.pipeline != 0 && (f.compress == "" || f.checkpoint == 0) {
+		return fmt.Errorf("-pipeline overlaps compression with framed output; pair it with -c and -checkpoint")
+	}
 	return nil
 }
 
@@ -105,6 +121,9 @@ func main() {
 	flag.StringVar(&f.method, "method", "ADP", "compression method: ADP, VQ, VQT, MT")
 	flag.IntVar(&f.checkpoint, "checkpoint", 0, "with -c: write a recoverable framed stream with a checkpoint every N blocks (0 = one-shot format)")
 	flag.IntVar(&f.format, "format", 2, "with -c: wire-format version to write (2 = default, 3 = dual-lane entropy coding; not readable by pre-v3 builds)")
+	flag.IntVar(&f.workers, "workers", 0, "goroutines for parallel kernels (0 = GOMAXPROCS, 1 = serial); output bytes never depend on it")
+	flag.IntVar(&f.shards, "shards", 0, "with -c: contiguous particle shards per axis batch (0 = auto); part of the output format, so a fixed value pins output bytes across machines")
+	flag.IntVar(&f.pipeline, "pipeline", 0, "with -c -checkpoint: overlap compressing the next batch with framing and writing the previous, keeping up to N compressed batches in flight (0 = synchronous; bytes identical either way)")
 	flag.BoolVar(&f.salvage, "salvage", false, "with -d: recover everything readable from a corrupt stream instead of failing")
 	flag.BoolVar(&f.noFsync, "no-fsync", false, "skip fsync when writing output: faster, but a machine crash can lose the file (the atomic temp-file+rename commit is kept either way)")
 	flag.Int64Var(&f.maxDecode, "max-decode", 0, "with -d/-info/-fsck: cap decode-side memory driven by claimed sizes in the input, in bytes (0 = unlimited); over-budget inputs are rejected, not decoded")
@@ -158,12 +177,16 @@ func doCompress(f *cliFlags, o *obs) error {
 	for i, f := range d.Frames {
 		frames[i] = mdz.Frame{X: f.X, Y: f.Y, Z: f.Z}
 	}
-	cfg := mdz.Config{ErrorBound: f.eps, Method: m, BufferSize: f.bs, FormatVersion: f.format, Telemetry: o.enabled()}
+	cfg := mdz.Config{
+		ErrorBound: f.eps, Method: m, BufferSize: f.bs, FormatVersion: f.format,
+		Workers: f.workers, Shards: f.shards, Telemetry: o.enabled(),
+	}
 	var stream []byte
 	if f.checkpoint > 0 {
 		// Framed stream with embedded recovery checkpoints: survivable by
 		// -salvage and checkable by -fsck.
 		cfg.CheckpointInterval = f.checkpoint
+		cfg.PipelineDepth = f.pipeline
 		var sb bytes.Buffer
 		w, err := mdz.NewWriter(&sb, cfg)
 		if err != nil {
@@ -263,12 +286,12 @@ func parseContainer(path string) (meta [3]string, stream []byte, err error) {
 // streams via the stream Reader. Salvage mode (framed streams only)
 // recovers what it can and returns the reader's accounting alongside the
 // frames.
-func decodeStream(stream []byte, salvage bool, maxDecode int64, o *obs) ([]mdz.Frame, *mdz.SalvageStats, error) {
+func decodeStream(stream []byte, salvage bool, f *cliFlags, o *obs) ([]mdz.Frame, *mdz.SalvageStats, error) {
 	if len(stream) >= 4 {
 		switch string(stream[:4]) {
 		case "MDZW", "MDZ2", "MDZ3":
 			r := mdz.NewReaderWith(bytes.NewReader(stream),
-				mdz.ReaderOptions{Resync: salvage, Telemetry: o.enabled(), MaxDecodeBytes: maxDecode})
+				mdz.ReaderOptions{Workers: f.workers, Resync: salvage, Telemetry: o.enabled(), MaxDecodeBytes: f.maxDecode})
 			if err := o.attach(r.TelemetryRegistry()); err != nil {
 				return nil, nil, err
 			}
@@ -283,7 +306,7 @@ func decodeStream(stream []byte, salvage bool, maxDecode int64, o *obs) ([]mdz.F
 	if salvage {
 		return nil, nil, fmt.Errorf("-salvage requires a framed stream (got a one-shot payload)")
 	}
-	d := mdz.NewDecompressorWith(mdz.DecompressorOptions{Telemetry: o.enabled(), MaxDecodeBytes: maxDecode})
+	d := mdz.NewDecompressorWith(mdz.DecompressorOptions{Workers: f.workers, Telemetry: o.enabled(), MaxDecodeBytes: f.maxDecode})
 	if err := o.attach(d.TelemetryRegistry()); err != nil {
 		return nil, nil, err
 	}
@@ -337,7 +360,7 @@ func doDecompress(f *cliFlags, o *obs) error {
 	if err != nil {
 		return err
 	}
-	frames, stats, err := decodeStream(stream, salvage, f.maxDecode, o)
+	frames, stats, err := decodeStream(stream, salvage, f, o)
 	if err != nil {
 		return err
 	}
@@ -417,7 +440,7 @@ func doInfo(f *cliFlags, o *obs) error {
 	if err != nil {
 		return err
 	}
-	frames, _, err := decodeStream(stream, false, f.maxDecode, o)
+	frames, _, err := decodeStream(stream, false, f, o)
 	if err != nil {
 		return err
 	}

@@ -50,6 +50,16 @@ func TestValidateFlags(t *testing.T) {
 		{"max-decode with -fsck", cliFlags{fsck: "in", maxDecode: 1 << 20}, false},
 		{"max-decode with -c", cliFlags{compress: "in", out: "out", maxDecode: 1 << 20}, true},
 		{"max-decode negative", cliFlags{decompress: "in", out: "out", maxDecode: -1}, true},
+		{"workers with -c", cliFlags{compress: "in", out: "out", workers: 4}, false},
+		{"workers with -d", cliFlags{decompress: "in", out: "out", workers: 4}, false},
+		{"workers negative", cliFlags{compress: "in", out: "out", workers: -1}, true},
+		{"shards with -c", cliFlags{compress: "in", out: "out", shards: 8}, false},
+		{"shards without -c", cliFlags{decompress: "in", out: "out", shards: 8}, true},
+		{"shards negative", cliFlags{compress: "in", out: "out", shards: -2}, true},
+		{"pipeline with framed -c", cliFlags{compress: "in", out: "out", checkpoint: 4, pipeline: 2}, false},
+		{"pipeline without checkpoint", cliFlags{compress: "in", out: "out", pipeline: 2}, true},
+		{"pipeline without -c", cliFlags{decompress: "in", out: "out", pipeline: 1}, true},
+		{"pipeline negative", cliFlags{compress: "in", out: "out", checkpoint: 4, pipeline: -1}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -126,6 +136,59 @@ func TestFormatV3RoundTrip(t *testing.T) {
 				t.Fatalf("restored %dx%d, want 12x64", d.M(), d.N())
 			}
 		})
+	}
+}
+
+// TestParallelKnobsRoundTrip drives -workers/-shards/-pipeline through the
+// CLI compress path and checks two properties: the output round-trips, and
+// the bytes match a run without -workers/-pipeline (only -shards may change
+// the format, never the execution knobs).
+func TestParallelKnobsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestTrajectory(t, dir)
+	tuned := filepath.Join(dir, "tuned.mdz")
+	f := &cliFlags{
+		compress: in, out: tuned,
+		eps: 1e-3, bs: 4, method: "ADP", format: 2,
+		checkpoint: 2, workers: 2, shards: 4, pipeline: 2,
+	}
+	if err := validateFlags(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := doCompress(f, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "plain.mdz")
+	pf := &cliFlags{
+		compress: in, out: plain,
+		eps: 1e-3, bs: 4, method: "ADP", format: 2,
+		checkpoint: 2, shards: 4,
+	}
+	if err := doCompress(pf, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("-workers/-pipeline changed output bytes; they must be execution-only knobs")
+	}
+	restored := filepath.Join(dir, "restored.mdzd")
+	df := &cliFlags{decompress: tuned, out: restored, workers: 2}
+	if err := doDecompress(df, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.Load(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.M() != 12 || d.N() != 64 {
+		t.Fatalf("restored %dx%d, want 12x64", d.M(), d.N())
 	}
 }
 

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestScaleReportShape runs the scaling benchmark at unit-test scale and
+// checks the report's invariants: the full grid is present, every point
+// carries positive throughput on both sides, the headline point exists, and
+// the report survives a JSON round-trip and a self-comparison.
+func TestScaleReportShape(t *testing.T) {
+	rep, err := RunScale(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != len(scaleGrid) {
+		t.Fatalf("report has %d points, want %d", len(rep.Points), len(scaleGrid))
+	}
+	for _, p := range rep.Points {
+		if p.BaselineMBps <= 0 || p.TunedMBps <= 0 {
+			t.Errorf("w=%d k=%d: non-positive throughput %+v", p.Workers, p.Shards, p)
+		}
+		if p.BaselineRatio <= 1 || p.TunedRatio <= 1 {
+			t.Errorf("w=%d k=%d: no compression %+v", p.Workers, p.Shards, p)
+		}
+	}
+	if rep.HeadlineSpeedup <= 0 {
+		t.Fatal("headline point (workers=8 shards=8) missing from the grid")
+	}
+	if rep.GOMAXPROCS <= 0 || rep.NumCPU <= 0 {
+		t.Errorf("host info not recorded: GOMAXPROCS=%d NumCPU=%d", rep.GOMAXPROCS, rep.NumCPU)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScaleReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(rep.Points) || back.HeadlineSpeedup != rep.HeadlineSpeedup {
+		t.Fatal("JSON round-trip changed the report")
+	}
+
+	var table, diff strings.Builder
+	if err := rep.WriteText(&table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "headline") {
+		t.Error("text table missing headline line")
+	}
+	// Self-comparison is clean and warn-only by contract: never an error.
+	if err := CompareScale(&diff, back, rep); err != nil {
+		t.Fatalf("self-compare returned a gating error: %v", err)
+	}
+}

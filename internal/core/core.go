@@ -161,6 +161,18 @@ type Params struct {
 	// blocks byte-identical to format version 1. Shard count changes the
 	// output bytes (format version 2) but never the error bound.
 	Shards int
+	// ADPSampleShards, when positive, amortizes ADP re-evaluations: the
+	// VQ/VQT/MT trial compressions run on only a contiguous particle
+	// prefix of the batch covering this many shards (at real shard size),
+	// and the winner — judged on trial output sizes — then encodes the
+	// full batch once. This cuts an evaluation batch's cost from ~4× to
+	// ~(1 + 3·S/K)× of a plain batch. 0 (the default) keeps the paper's
+	// full-batch trials and the historical output bytes. Sampling can
+	// change which method wins a round, and therefore the output bytes,
+	// exactly the way Shards does — deterministically for a fixed (input,
+	// params), never affecting the error bound, and invisibly to the
+	// decoder, which reads the method from each block header.
+	ADPSampleShards int
 	// Pool bounds the goroutines used for shard- and ADP-trial-level
 	// parallelism. A nil pool runs serially; pool size never changes the
 	// output bytes.
@@ -205,6 +217,9 @@ func (p *Params) fill() error {
 	}
 	if p.Shards < 0 || p.Shards > MaxShards {
 		return fmt.Errorf("core: Shards must be in [0, %d], got %d", MaxShards, p.Shards)
+	}
+	if p.ADPSampleShards < 0 || p.ADPSampleShards > MaxShards {
+		return fmt.Errorf("core: ADPSampleShards must be in [0, %d], got %d", MaxShards, p.ADPSampleShards)
 	}
 	if p.Backend == nil {
 		p.Backend = lossless.LZ{}
@@ -392,21 +407,49 @@ func (e *Encoder) EncodeBatchContext(ctx context.Context, batch [][]float64) ([]
 		// concurrently on the shared pool and pick the winner in fixed
 		// method order so the selection is deterministic.
 		methods := [...]Method{VQ, VQT, MT}
-		var blks [3][]byte
-		var r0s [3][]float64
-		err := e.p.Pool.RunContext(ctx, len(methods), func(i int) error {
-			var terr error
-			blks[i], r0s[i], terr = e.encodeWith(ctx, methods[i], batch)
-			return terr
-		})
-		if err != nil {
-			return nil, err
-		}
-		bestLen := math.MaxInt
-		for i, m := range methods {
-			if len(blks[i]) < bestLen {
-				bestLen = len(blks[i])
-				out, recon0, e.cur = blks[i], r0s[i], m
+		if sub, ok := e.sampleBatch(batch); ok {
+			// Amortized evaluation (Params.ADPSampleShards): judge the trio
+			// on a shard-prefix sub-batch, then encode the full batch once
+			// with the winner. Trial blocks are discarded — only their sizes
+			// compete — so the sub-batch sharing real shard sizes is what
+			// keeps the per-shard overhead fraction representative.
+			e.tel.SampledEvals.Inc()
+			var sizes [3]int
+			err := e.p.Pool.RunContext(ctx, len(methods), func(i int) error {
+				blk, _, terr := e.encodeWithShards(ctx, methods[i], sub, e.p.ADPSampleShards)
+				sizes[i] = len(blk)
+				return terr
+			})
+			if err != nil {
+				return nil, err
+			}
+			bestLen := math.MaxInt
+			for i, m := range methods {
+				if sizes[i] < bestLen {
+					bestLen, e.cur = sizes[i], m
+				}
+			}
+			out, recon0, err = e.encodeWith(ctx, e.cur, batch)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			var blks [3][]byte
+			var r0s [3][]float64
+			err := e.p.Pool.RunContext(ctx, len(methods), func(i int) error {
+				var terr error
+				blks[i], r0s[i], terr = e.encodeWith(ctx, methods[i], batch)
+				return terr
+			})
+			if err != nil {
+				return nil, err
+			}
+			bestLen := math.MaxInt
+			for i, m := range methods {
+				if len(blks[i]) < bestLen {
+					bestLen = len(blks[i])
+					out, recon0, e.cur = blks[i], r0s[i], m
+				}
 			}
 		}
 		e.tel.Wins[e.cur].Inc()
@@ -454,14 +497,53 @@ func (e *Encoder) initLevels(snapshot0 []float64) error {
 	return nil
 }
 
+// sampleBatch returns the contiguous particle prefix of batch covering the
+// first ADPSampleShards shards at the batch's real shard size, or ok=false
+// when sampling is disabled or would not shrink the trial (sample count >=
+// effective shard count). MT reference prediction indexes e.ref by particle
+// position, so a prefix sub-batch stays a valid trial input for every
+// method.
+func (e *Encoder) sampleBatch(batch [][]float64) ([][]float64, bool) {
+	sample := e.p.ADPSampleShards
+	if sample <= 0 {
+		return nil, false
+	}
+	n := len(batch[0])
+	k := e.shardCount(n)
+	if sample >= k {
+		return nil, false
+	}
+	m := shardBounds(n, k)[sample]
+	sub := make([][]float64, len(batch))
+	for t, snap := range batch {
+		sub[t] = snap[:m]
+	}
+	return sub, true
+}
+
 // encodeWith compresses batch with concrete method m without mutating
 // encoder state: it shards the batch along the particle axis, encodes the
 // shards concurrently (assembled in index order, so bytes are
 // deterministic), and returns the block plus the reconstruction of the
 // batch's first snapshot (the MT reference candidate for batch 0).
 func (e *Encoder) encodeWith(ctx context.Context, m Method, batch [][]float64) (blk []byte, recon0 []float64, err error) {
+	return e.encodeWithShards(ctx, m, batch, 0)
+}
+
+// encodeWithShards is encodeWith with an explicit shard count; shards <= 0
+// resolves the configured count. Sampled ADP trials pass the sample count so
+// trial shards keep the full batch's shard size.
+func (e *Encoder) encodeWithShards(ctx context.Context, m Method, batch [][]float64, shardsOverride int) (blk []byte, recon0 []float64, err error) {
 	bs, n := len(batch), len(batch[0])
-	k := e.shardCount(n)
+	k := shardsOverride
+	if k <= 0 {
+		k = e.shardCount(n)
+	} else if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
 	firstPred := byte(firstVQ)
 	if m == MT {
 		if e.ref != nil {
@@ -473,11 +555,26 @@ func (e *Encoder) encodeWith(ctx context.Context, m Method, batch [][]float64) (
 	bounds := shardBounds(n, k)
 	recon0 = make([]float64, n)
 	shards := make([][]byte, k)
-	err = e.p.Pool.RunContext(ctx, k, func(s int) error {
-		lo, hi := bounds[s], bounds[s+1]
-		payload, serr := e.encodeShard(ctx, m, batch, lo, hi, firstPred, recon0[lo:hi], s)
-		shards[s] = payload
-		return serr
+	// Chunked run: each participating worker owns a fixed contiguous shard
+	// range and one scratch acquisition serves its whole chunk, so hot
+	// buffers (Huffman slabs, section payloads) stay with the worker instead
+	// of migrating through the global sync.Pool once per shard.
+	err = e.p.Pool.RunContextChunked(ctx, k, func(cl, ch int) error {
+		sc := encScratchPool.Get().(*encodeScratch)
+		defer encScratchPool.Put(sc)
+		e.tel.ScratchAcquires.Inc()
+		for s := cl; s < ch; s++ {
+			if cerr := ctxErr(ctx); cerr != nil {
+				return cerr
+			}
+			lo, hi := bounds[s], bounds[s+1]
+			payload, serr := e.encodeShard(ctx, sc, m, batch, lo, hi, firstPred, recon0[lo:hi], s)
+			if serr != nil {
+				return serr
+			}
+			shards[s] = payload
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, nil, err
@@ -515,14 +612,13 @@ func (e *Encoder) encodeWith(ctx context.Context, m Method, batch [][]float64) (
 // into one backend-compressed payload carrying its own Huffman tables and
 // level-delta chain. recon0 (length hi-lo) receives the reconstruction of
 // the shard's first snapshot. encodeShard reads but never mutates encoder
-// state, so shards and ADP trials can run concurrently.
-func (e *Encoder) encodeShard(ctx context.Context, m Method, batch [][]float64, lo, hi int, firstPred byte, recon0 []float64, shard int) ([]byte, error) {
+// state, so shards and ADP trials can run concurrently. sc is the calling
+// chunk's scratch: one acquisition serves every shard the chunk encodes.
+func (e *Encoder) encodeShard(ctx context.Context, sc *encodeScratch, m Method, batch [][]float64, lo, hi int, firstPred byte, recon0 []float64, shard int) ([]byte, error) {
 	if e.p.FaultHook != nil {
 		e.p.FaultHook("encode_shard", shard)
 	}
 	bs, sn := len(batch), hi-lo
-	sc := encScratchPool.Get().(*encodeScratch)
-	defer encScratchPool.Put(sc)
 	bins := intsCap(sc.bins, bs*sn) // codes in serialized order
 	sc.bins = bins
 	levels := sc.levels[:0]          // J stream: level-index deltas (VQ-coded snapshots)
@@ -751,8 +847,21 @@ func (d *Decoder) DecodeBatchContext(ctx context.Context, blk []byte) ([][]float
 		out[t] = make([]float64, h.n)
 	}
 	offs := shardOffsets(h.shards)
-	err = d.p.Pool.RunContext(ctx, len(h.shards), func(s int) error {
-		return d.decodeShard(ctx, q, h, h.shards[s], offs[s], out, tx, s)
+	// Same chunked affinity as the encoder: one scratch per participating
+	// worker for the whole chunk of shards.
+	err = d.p.Pool.RunContextChunked(ctx, len(h.shards), func(cl, ch int) error {
+		sc := decScratchPool.Get().(*decodeScratch)
+		defer decScratchPool.Put(sc)
+		d.tel.ScratchAcquires.Inc()
+		for s := cl; s < ch; s++ {
+			if cerr := ctxErr(ctx); cerr != nil {
+				return cerr
+			}
+			if serr := d.decodeShard(ctx, q, h, h.shards[s], offs[s], out, tx, sc, s); serr != nil {
+				return serr
+			}
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -767,14 +876,13 @@ func (d *Decoder) DecodeBatchContext(ctx context.Context, blk []byte) ([][]float
 
 // decodeShard reconstructs one shard's particle columns [lo, lo+particles)
 // into out. Shards write disjoint column ranges, so they are safe to decode
-// concurrently.
-func (d *Decoder) decodeShard(ctx context.Context, q *quant.Quantizer, h *header, sh shardSec, lo int, out [][]float64, tx *budget.Tx, shard int) error {
+// concurrently. sc is the calling chunk's scratch, shared by every shard of
+// the chunk.
+func (d *Decoder) decodeShard(ctx context.Context, q *quant.Quantizer, h *header, sh shardSec, lo int, out [][]float64, tx *budget.Tx, sc *decodeScratch, shard int) error {
 	if d.p.FaultHook != nil {
 		d.p.FaultHook("decode_shard", shard)
 	}
 	bs, sn := h.bs, sh.particles
-	sc := decScratchPool.Get().(*decodeScratch)
-	defer decScratchPool.Put(sc)
 	bins, levels, outliers, err := d.sections(h.ver, sh.body, bs, sn, sc, tx)
 	if err != nil {
 		return err

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/mdz/mdz/internal/telemetry"
+)
+
+// encodeAll runs batches through one encoder, decoding each block to check
+// the error bound, and returns the concatenated blocks.
+func encodeAll(t *testing.T, p Params, batches [][][]float64, eb float64) []byte {
+	t.Helper()
+	enc, err := NewEncoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(Params{})
+	var out []byte
+	for bi, batch := range batches {
+		blk, err := enc.EncodeBatch(batch)
+		if err != nil {
+			t.Fatalf("batch %d: encode: %v", bi, err)
+		}
+		got, err := dec.DecodeBatch(blk)
+		if err != nil {
+			t.Fatalf("batch %d: decode: %v", bi, err)
+		}
+		if e := maxAbsErr(batch, got); e > eb {
+			t.Fatalf("batch %d: max error %v exceeds bound %v", bi, e, eb)
+		}
+		out = append(out, blk...)
+	}
+	return out
+}
+
+// TestADPSampleShardsAcceptance is the gate on the amortized-ADP knob: on a
+// stream with a regime change mid-way (temporally smooth, then crystalline),
+// deciding re-evaluations on a single sampled shard must stay within 2% of
+// the full-trial compressed size, honor the error bound, and be fully
+// deterministic. The sampled counter proves the fast path actually ran.
+func TestADPSampleShardsAcceptance(t *testing.T) {
+	const eb = 1e-3
+	var batches [][][]float64
+	liquid := liquidBatch(96, 600, 11)
+	for i := 0; i < 96; i += 8 {
+		batches = append(batches, liquid[i:i+8])
+	}
+	crystal := crystalBatch(96, 600, 12)
+	for i := 0; i < 96; i += 8 {
+		batches = append(batches, crystal[i:i+8])
+	}
+
+	base := Params{ErrorBound: eb, Method: ADP, AdaptInterval: 4, Shards: 4}
+	full := encodeAll(t, base, batches, eb)
+
+	reg := telemetry.NewRegistry()
+	sampledParams := base
+	sampledParams.ADPSampleShards = 1
+	sampledParams.Tel = EncoderInstruments(reg, "x")
+	sampled := encodeAll(t, sampledParams, batches, eb)
+
+	if v := reg.Counter("compress.adp.x.sampled_evals").Value(); v == 0 {
+		t.Fatal("sampled_evals = 0: the sampled trial path never engaged")
+	}
+	// The knob trades trial cost for selection fidelity; the acceptance
+	// bar is a compressed size within 2% of full trials on this workload.
+	if limit := int(float64(len(full)) * 1.02); len(sampled) > limit {
+		t.Fatalf("sampled ADP output %d B exceeds 1.02x full-trial output %d B", len(sampled), len(full))
+	}
+
+	again := encodeAll(t, sampledParams, batches, eb)
+	if !bytes.Equal(sampled, again) {
+		t.Fatal("sampled ADP output is not deterministic across runs")
+	}
+}
+
+// TestADPSampleShardsValidation: the knob is range-checked like Shards.
+func TestADPSampleShardsValidation(t *testing.T) {
+	if _, err := NewEncoder(Params{ErrorBound: 1e-3, ADPSampleShards: -1}); err == nil {
+		t.Error("negative ADPSampleShards accepted")
+	}
+	if _, err := NewEncoder(Params{ErrorBound: 1e-3, ADPSampleShards: MaxShards + 1}); err == nil {
+		t.Error("ADPSampleShards above MaxShards accepted")
+	}
+	if _, err := NewEncoder(Params{ErrorBound: 1e-3, ADPSampleShards: 2}); err != nil {
+		t.Errorf("valid ADPSampleShards rejected: %v", err)
+	}
+}

@@ -39,6 +39,14 @@ type Telemetry struct {
 	// each round, and rounds whose winner differed from the incumbent.
 	Evals, Transitions *telemetry.Counter
 	Wins               [4]*telemetry.Counter // indexed by Method
+	// SampledEvals counts the subset of Evals decided on a sampled shard
+	// prefix (Params.ADPSampleShards). Per axis.
+	SampledEvals *telemetry.Counter
+	// ScratchAcquires counts scratch-state acquisitions from the global
+	// pools — one per chunk of a sharded run. A rate near the shard rate
+	// means affinity is not engaging (saturated pool, serial chunks); a
+	// rate near the worker count per batch is the healthy state.
+	ScratchAcquires *telemetry.Counter
 }
 
 // EncoderInstruments builds the encode-side instrument set for one axis
@@ -64,6 +72,8 @@ func EncoderInstruments(reg *telemetry.Registry, axis string) *Telemetry {
 		Batches:         reg.Counter("compress.axis_batches"),
 		Evals:           reg.Counter("compress.adp." + axis + ".evals"),
 		Transitions:     reg.Counter("compress.adp." + axis + ".transitions"),
+		SampledEvals:    reg.Counter("compress.adp." + axis + ".sampled_evals"),
+		ScratchAcquires: reg.Counter("compress.scratch.acquires"),
 	}
 	for _, m := range []Method{VQ, VQT, MT} {
 		t.Wins[m] = reg.Counter("compress.adp." + axis + ".win." + strings.ToLower(m.String()))
@@ -86,6 +96,7 @@ func DecoderInstruments(reg *telemetry.Registry) *Telemetry {
 		BackendInBytes:  reg.Counter("decompress.lossless.in.bytes"),
 		BackendOutBytes: reg.Counter("decompress.lossless.out.bytes"),
 		Batches:         reg.Counter("decompress.axis_batches"),
+		ScratchAcquires: reg.Counter("decompress.scratch.acquires"),
 	}
 }
 

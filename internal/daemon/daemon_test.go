@@ -468,6 +468,52 @@ func TestDaemonBadRequests(t *testing.T) {
 	tc.do(http.MethodGet, "/v1/sessions/nope", nil, http.StatusNotFound)
 }
 
+// TestDaemonSessionKnobs: the parallelism knobs round-trip through the
+// session config — accepted values produce a container byte-identical to
+// the library run with the same Config, and over-cap or negative values
+// are rejected as 400s before a session exists.
+func TestDaemonSessionKnobs(t *testing.T) {
+	srv, tc := newTestEnv(t, Options{MemGlobal: 32 << 20})
+	traj := makeTraj(24, 96, 23)
+	got := tc.runSession(`{"error_bound":1e-3,"buffer_size":4,"checkpoint_interval":2,`+
+		`"workers":2,"shards":4,"adp_sample_shards":1,"pipeline_depth":2}`, traj)
+	want := libraryContainer(t, mdz.Config{
+		ErrorBound: 1e-3, BufferSize: 4, CheckpointInterval: 2,
+		Workers: 2, Shards: 4, ADPSampleShards: 1, PipelineDepth: 2,
+	}, traj)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("session container (%d bytes) differs from library container (%d bytes)", len(got), len(want))
+	}
+	for _, body := range []string{
+		`{"error_bound":1e-3,"workers":65}`,
+		`{"error_bound":1e-3,"workers":-1}`,
+		`{"error_bound":1e-3,"pipeline_depth":9}`,
+		`{"error_bound":1e-3,"pipeline_depth":-1}`,
+		`{"error_bound":1e-3,"shards":-1}`,
+		`{"error_bound":1e-3,"shards":1000000}`,
+		`{"error_bound":1e-3,"adp_sample_shards":1000000}`,
+	} {
+		tc.do(http.MethodPost, "/v1/sessions", []byte(body), http.StatusBadRequest)
+	}
+	if used := srv.MemoryUsed(); used != 0 {
+		t.Fatalf("knob session leaked %d budgeted bytes", used)
+	}
+}
+
+// TestDaemonPipelinedDeleteActive: deleting a session whose Writer runs a
+// pipelined io goroutine must not leak the goroutine or budgeted bytes —
+// release closes the Writer best-effort.
+func TestDaemonPipelinedDeleteActive(t *testing.T) {
+	srv, tc := newTestEnv(t, Options{MemGlobal: 16 << 20})
+	traj := makeTraj(12, 80, 13)
+	id := tc.create(`{"error_bound":1e-3,"checkpoint_interval":2,"pipeline_depth":4}`)
+	tc.do(http.MethodPost, "/v1/sessions/"+id+"/frames", encodeWireFrames(t, traj), http.StatusAccepted)
+	tc.do(http.MethodDelete, "/v1/sessions/"+id, nil, http.StatusNoContent)
+	if used := srv.MemoryUsed(); used != 0 {
+		t.Fatalf("delete leaked %d budgeted bytes", used)
+	}
+}
+
 // TestDaemonTenantMetrics: per-tenant counters accumulate under sanitized
 // names and hostile tenant strings cannot mint unbounded metric names.
 func TestDaemonTenantMetrics(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 
 	mdz "github.com/mdz/mdz"
 	"github.com/mdz/mdz/internal/budget"
+	"github.com/mdz/mdz/internal/core"
 )
 
 // API-level sentinel errors and their HTTP status mapping.
@@ -78,12 +79,47 @@ type SessionConfig struct {
 	CheckpointInterval int `json:"checkpoint_interval,omitempty"`
 	// FormatVersion selects the container format: 0/2 = v2, 3 = v3.
 	FormatVersion int `json:"format_version,omitempty"`
+	// Workers bounds the session's compression goroutines (0 = GOMAXPROCS).
+	// Capped at maxSessionWorkers so one tenant cannot claim the box.
+	Workers int `json:"workers,omitempty"`
+	// Shards fixes the particle shards per axis batch (0 = auto). Part of
+	// the output format, so a fixed value pins output bytes.
+	Shards int `json:"shards,omitempty"`
+	// ADPSampleShards amortizes ADP re-evaluations onto a sampled shard
+	// prefix (0 = full trials; changes output bytes deterministically).
+	ADPSampleShards int `json:"adp_sample_shards,omitempty"`
+	// PipelineDepth overlaps batch compression with container framing,
+	// keeping up to N compressed batches in flight (0 = synchronous;
+	// output bytes identical). Capped at maxSessionPipeline because each
+	// in-flight batch holds compressed bytes outside the session budget.
+	PipelineDepth int `json:"pipeline_depth,omitempty"`
 }
+
+// Per-session caps on client-supplied parallelism knobs. Workers are
+// goroutines and pipeline slots are retained buffers, so both multiply per
+// session; the caps keep a single tenant's request from dimensioning the
+// whole process.
+const (
+	maxSessionWorkers  = 64
+	maxSessionPipeline = 8
+)
 
 func (sc *SessionConfig) toConfig() (mdz.Config, error) {
 	m, err := mdz.ParseMethod(sc.Method)
 	if err != nil {
 		return mdz.Config{}, err
+	}
+	if sc.Workers < 0 || sc.Workers > maxSessionWorkers {
+		return mdz.Config{}, fmt.Errorf("workers must be in [0, %d], got %d", maxSessionWorkers, sc.Workers)
+	}
+	if sc.PipelineDepth < 0 || sc.PipelineDepth > maxSessionPipeline {
+		return mdz.Config{}, fmt.Errorf("pipeline_depth must be in [0, %d], got %d", maxSessionPipeline, sc.PipelineDepth)
+	}
+	if sc.Shards < 0 || sc.Shards > core.MaxShards {
+		return mdz.Config{}, fmt.Errorf("shards must be in [0, %d], got %d", core.MaxShards, sc.Shards)
+	}
+	if sc.ADPSampleShards < 0 || sc.ADPSampleShards > core.MaxShards {
+		return mdz.Config{}, fmt.Errorf("adp_sample_shards must be in [0, %d], got %d", core.MaxShards, sc.ADPSampleShards)
 	}
 	cfg := mdz.Config{
 		ErrorBound:         sc.ErrorBound,
@@ -91,6 +127,10 @@ func (sc *SessionConfig) toConfig() (mdz.Config, error) {
 		BufferSize:         sc.BufferSize,
 		CheckpointInterval: sc.CheckpointInterval,
 		FormatVersion:      sc.FormatVersion,
+		Workers:            sc.Workers,
+		Shards:             sc.Shards,
+		ADPSampleShards:    sc.ADPSampleShards,
+		PipelineDepth:      sc.PipelineDepth,
 	}
 	if sc.AbsoluteBound {
 		cfg.Mode = mdz.Absolute

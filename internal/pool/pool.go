@@ -61,6 +61,13 @@ type Telemetry struct {
 	PanicsRecovered *telemetry.Counter
 	// HelpersActive gauges the helper goroutines currently running.
 	HelpersActive *telemetry.Gauge
+	// ChunkedRuns counts parallel-eligible RunContextChunked calls.
+	ChunkedRuns *telemetry.Counter
+	// Chunks counts the contiguous chunks those calls were split into —
+	// one chunk per participating goroutine. Chunks/ChunkedRuns is the
+	// effective fan-out; a ratio near 1 under load means the pool was
+	// saturated and affinity runs degraded to a single participant.
+	Chunks *telemetry.Counter
 }
 
 // Instruments builds the pool's instrument set on reg under the "pool."
@@ -76,6 +83,8 @@ func Instruments(reg *telemetry.Registry) *Telemetry {
 		SerialDegradations: reg.Counter("pool.serial_degradations"),
 		PanicsRecovered:    reg.Counter("pool.panics_recovered"),
 		HelpersActive:      reg.Gauge("pool.helpers_active"),
+		ChunkedRuns:        reg.Counter("pool.chunked_runs"),
+		Chunks:             reg.Counter("pool.chunks"),
 	}
 }
 
@@ -225,6 +234,114 @@ spawn:
 		}
 	}
 	work()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// callRange runs f(lo, hi), converting a panic into a *PanicError whose
+// Task is the first index of the chunk.
+func (p *Pool) callRange(f func(lo, hi int) error, lo, hi int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Task: lo, Value: v, Stack: debug.Stack()}
+			if p != nil && p.tel != nil {
+				p.tel.PanicsRecovered.Inc()
+			}
+		}
+	}()
+	return f(lo, hi)
+}
+
+// RunChunked is RunContextChunked without cancellation.
+func (p *Pool) RunChunked(n int, f func(lo, hi int) error) error {
+	return p.RunContextChunked(nil, n, f)
+}
+
+// RunContextChunked executes f over the index range [0, n) split into at
+// most Workers contiguous chunks, exactly one chunk per participating
+// goroutine. Unlike RunContext — where a shared counter lets tasks migrate
+// to whichever goroutine is free — the chunk→goroutine assignment is fixed
+// for the whole call, so state a participant acquires once per chunk
+// (scratch buffers, Huffman slabs) serves every index in its chunk instead
+// of round-tripping through a global sync.Pool per index. The cost is
+// static load balance: chunks are equal-sized, so one slow index stalls its
+// chunk. Use it when per-index work is uniform (particle shards) and
+// per-acquisition state dominates; use RunContext when task cost varies.
+//
+// Helper tokens are claimed opportunistically up front (TryAcquire, never
+// blocking), so nested calls degrade to a single chunk on the caller's
+// goroutine rather than deadlocking. f must poll ctx itself for
+// cancellation inside a chunk; chunks not yet started when ctx is done are
+// skipped and report ctx.Err(). The error of the lowest-indexed failing
+// chunk is returned, and panics are contained as in Run.
+func (p *Pool) RunContextChunked(ctx context.Context, n int, f func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	parts := 1
+	if p != nil && cap(p.sem) > 0 && n > 1 {
+		max := cap(p.sem) + 1
+		if max > n {
+			max = n
+		}
+		claimed := 0
+	claim:
+		for claimed < max-1 {
+			select {
+			case p.sem <- struct{}{}:
+				claimed++
+			default:
+				break claim // pool saturated: run with what we have
+			}
+		}
+		parts = claimed + 1
+	}
+	if parts == 1 {
+		if p != nil && p.tel != nil && p.Workers() > 1 && n > 1 {
+			p.tel.ChunkedRuns.Inc()
+			p.tel.Chunks.Inc()
+			p.tel.SerialDegradations.Inc()
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return p.callRange(f, 0, n)
+	}
+	if t := p.tel; t != nil {
+		t.ChunkedRuns.Inc()
+		t.Chunks.Add(int64(parts))
+		t.HelperSpawns.Add(int64(parts - 1))
+		t.HelpersActive.Add(int64(parts - 1))
+	}
+	errs := make([]error, parts)
+	runChunk := func(j int) {
+		lo, hi := j*n/parts, (j+1)*n/parts
+		if ctx != nil && ctx.Err() != nil {
+			errs[j] = ctx.Err()
+			return
+		}
+		errs[j] = p.callRange(f, lo, hi)
+	}
+	var wg sync.WaitGroup
+	for j := 1; j < parts; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer func() {
+				<-p.sem
+				if p.tel != nil {
+					p.tel.HelpersActive.Add(-1)
+				}
+				wg.Done()
+			}()
+			runChunk(j)
+		}(j)
+	}
+	runChunk(0)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

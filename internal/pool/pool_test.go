@@ -204,3 +204,147 @@ func TestRunContextPreCancelled(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+func TestChunkedCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		for _, n := range []int{1, 2, 7, 64, 257} {
+			p := New(workers)
+			hits := make([]atomic.Int32, n)
+			var chunks atomic.Int32
+			err := p.RunChunked(n, func(lo, hi int) error {
+				chunks.Add(1)
+				if lo >= hi || lo < 0 || hi > n {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if c := hits[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+			if c := int(chunks.Load()); c > workers || c > n {
+				t.Errorf("workers=%d n=%d: %d chunks, want <= min(workers, n)", workers, n, c)
+			}
+		}
+	}
+}
+
+func TestChunkedNilPoolSingleChunk(t *testing.T) {
+	var p *Pool
+	calls := 0
+	err := p.RunChunked(9, func(lo, hi int) error {
+		calls++
+		if lo != 0 || hi != 9 {
+			t.Errorf("chunk [%d,%d), want [0,9)", lo, hi)
+		}
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want nil/1", err, calls)
+	}
+}
+
+func TestChunkedLowestChunkError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		err := p.RunChunked(16, func(lo, hi int) error {
+			if lo <= 12 && 12 < hi {
+				return errB
+			}
+			if lo <= 1 && 1 < hi {
+				return errA
+			}
+			return nil
+		})
+		// Single-chunk runs see index 12's branch first (checked first);
+		// multi-chunk runs must prefer the chunk containing index 1.
+		want := errA
+		if workers == 1 {
+			want = errB
+		}
+		if err != want {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, want)
+		}
+	}
+}
+
+func TestChunkedRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := New(workers).RunChunked(8, func(lo, hi int) error {
+			if lo == 0 {
+				panic("chunk boom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Task != 0 || pe.Value != "chunk boom" {
+			t.Fatalf("workers=%d: err = %v, want PanicError{Task:0}", workers, err)
+		}
+	}
+}
+
+func TestChunkedPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := New(4).RunContextChunked(ctx, 8, func(lo, hi int) error {
+		t.Error("chunk ran on pre-cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestChunkedNestedDoesNotDeadlock(t *testing.T) {
+	p := New(4)
+	var total atomic.Int32
+	err := p.RunChunked(8, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := p.RunChunked(8, func(lo2, hi2 int) error {
+				total.Add(int32(hi2 - lo2))
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 8*8 {
+		t.Errorf("covered %d inner indices, want %d", total.Load(), 8*8)
+	}
+}
+
+func TestChunkedZeroTasks(t *testing.T) {
+	if err := New(4).RunChunked(0, func(int, int) error { t.Error("chunk ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkedTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := New(4)
+	p.SetTelemetry(Instruments(reg))
+	if err := p.RunChunked(16, func(lo, hi int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("pool.chunked_runs").Value(); got != 1 {
+		t.Errorf("chunked_runs = %d, want 1", got)
+	}
+	if got := reg.Counter("pool.chunks").Value(); got < 1 || got > 4 {
+		t.Errorf("chunks = %d, want 1..4", got)
+	}
+	if got := reg.Gauge("pool.helpers_active").Value(); got != 0 {
+		t.Errorf("helpers_active = %d after return, want 0", got)
+	}
+}

@@ -145,6 +145,26 @@ type Config struct {
 	// 1 forces single-shard blocks byte-identical to the pre-sharding
 	// format. Unlike Workers, the shard count is part of the output format.
 	Shards int
+	// ADPSampleShards, when positive, amortizes ADP re-evaluations: the
+	// three trial compressions of an evaluation batch run on only this
+	// many particle shards (a contiguous prefix, at real shard size) and
+	// the winning method then encodes the full batch once, cutting the
+	// evaluation batch's cost from ~4× to ~(1 + 3·S/K)× of a plain batch.
+	// 0 (the default) keeps the paper's full-batch trials and the
+	// historical output bytes. Like Shards — and unlike Workers — the
+	// setting can change which method wins a round and therefore the
+	// output bytes (deterministically, never the error bound); the
+	// decoder needs no matching setting. Ignored unless Method is ADP.
+	ADPSampleShards int
+	// PipelineDepth, when positive, makes Writer overlap compression of
+	// batch N+1 with framing, checksumming and io of batch N through a
+	// bounded queue of at most PipelineDepth in-flight compressed batches.
+	// Frame order, stream bytes and resume state are identical to the
+	// synchronous default (0); Flush, ExportState and Close drain the
+	// queue first. A write error surfaces on a later WriteFrame, Flush or
+	// Close — at most PipelineDepth batches late. Only Writer consults
+	// this field.
+	PipelineDepth int
 	// Telemetry enables pipeline instrumentation: per-stage wall time,
 	// ADP decisions, quantization scope rates, pool utilization and (via
 	// Writer/Reader) stream framing overhead. Snapshots are read with
@@ -226,6 +246,12 @@ func NewCompressor(cfg Config) (*Compressor, error) {
 	if cfg.Shards < 0 || cfg.Shards > core.MaxShards {
 		return nil, fmt.Errorf("mdz: Shards must be in [0, %d], got %d", core.MaxShards, cfg.Shards)
 	}
+	if cfg.ADPSampleShards < 0 || cfg.ADPSampleShards > core.MaxShards {
+		return nil, fmt.Errorf("mdz: ADPSampleShards must be in [0, %d], got %d", core.MaxShards, cfg.ADPSampleShards)
+	}
+	if cfg.PipelineDepth < 0 || cfg.PipelineDepth > MaxPipelineDepth {
+		return nil, fmt.Errorf("mdz: PipelineDepth must be in [0, %d], got %d", MaxPipelineDepth, cfg.PipelineDepth)
+	}
 	if v := cfg.FormatVersion; v != 0 && v != 2 && v != 3 {
 		return nil, fmt.Errorf("mdz: FormatVersion must be 0, 2 or 3, got %d", v)
 	}
@@ -276,17 +302,18 @@ func (c *Compressor) params(axis int, firstBatch [][]float64) (core.Params, erro
 		eb = quant.AbsBound(c.cfg.ErrorBound, lo, hi)
 	}
 	return core.Params{
-		ErrorBound:    eb,
-		QuantScale:    c.cfg.QuantScale,
-		Method:        c.cfg.Method,
-		Sequence:      c.cfg.Sequence,
-		AdaptInterval: c.cfg.AdaptInterval,
-		KMeans:        kmeans.Options{Seed: int64(axis) + 1},
-		Shards:        c.cfg.Shards,
-		Pool:          c.pool,
-		Tel:           core.EncoderInstruments(c.reg, axisName(axis)),
-		FormatVersion: c.cfg.FormatVersion,
-		FaultHook:     c.faultHook,
+		ErrorBound:      eb,
+		QuantScale:      c.cfg.QuantScale,
+		Method:          c.cfg.Method,
+		Sequence:        c.cfg.Sequence,
+		AdaptInterval:   c.cfg.AdaptInterval,
+		KMeans:          kmeans.Options{Seed: int64(axis) + 1},
+		Shards:          c.cfg.Shards,
+		ADPSampleShards: c.cfg.ADPSampleShards,
+		Pool:            c.pool,
+		Tel:             core.EncoderInstruments(c.reg, axisName(axis)),
+		FormatVersion:   c.cfg.FormatVersion,
+		FaultHook:       c.faultHook,
 	}, nil
 }
 

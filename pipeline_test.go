@@ -1,0 +1,148 @@
+package mdz
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestPipelineByteIdentity: every pipeline depth produces the same container
+// bytes as the synchronous writer, across formats and with checkpoints in
+// the stream — the depth is an execution knob, never a format knob.
+func TestPipelineByteIdentity(t *testing.T) {
+	frames := makeFrames(21, 120, 3)
+	for _, format := range []int{2, 3} {
+		cfg := Config{
+			ErrorBound: 1e-3, Method: ADP, BufferSize: 4,
+			CheckpointInterval: 2, FormatVersion: format,
+		}
+		var want bytes.Buffer
+		w, err := NewWriter(&want, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range frames {
+			if err := w.WriteFrame(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for _, depth := range []int{1, 4, MaxPipelineDepth} {
+			t.Run(fmt.Sprintf("v%d_depth%d", format, depth), func(t *testing.T) {
+				pcfg := cfg
+				pcfg.PipelineDepth = depth
+				var got bytes.Buffer
+				pw, err := NewWriter(&got, pcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range frames {
+					if err := pw.WriteFrame(f); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := pw.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want.Bytes(), got.Bytes()) {
+					t.Fatalf("depth %d container differs from synchronous: %d vs %d bytes",
+						depth, got.Len(), want.Len())
+				}
+				wr, wc := w.Stats()
+				gr, gc := pw.Stats()
+				if wr != gr || wc != gc {
+					t.Errorf("pipelined Stats = (%d, %d), want (%d, %d)", gr, gc, wr, wc)
+				}
+			})
+		}
+	}
+}
+
+// errSink fails every Write with a fixed error.
+type errSink struct{ err error }
+
+func (s errSink) Write([]byte) (int, error) { return 0, s.err }
+
+// TestPipelineErrorPropagation: a sink failure inside the pipelined io path
+// must surface to the caller — at the latest on Close — and never hang the
+// compress stage or get replaced by a later error.
+func TestPipelineErrorPropagation(t *testing.T) {
+	sinkErr := errors.New("disk gone")
+	frames := makeFrames(12, 100, 5)
+	for _, depth := range []int{0, 2} {
+		t.Run(fmt.Sprintf("depth%d", depth), func(t *testing.T) {
+			w, err := NewWriter(errSink{sinkErr}, Config{
+				ErrorBound: 1e-3, BufferSize: 4,
+				CheckpointInterval: 2, PipelineDepth: depth,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Small frames live in the 1 MiB buffer until a flush, so the
+			// sink failure may only materialize at Flush/Close — the
+			// pipelined writer must still deliver it, not swallow it.
+			for _, f := range frames {
+				if err := w.WriteFrame(f); err != nil {
+					if !errors.Is(err, sinkErr) {
+						t.Fatalf("WriteFrame error = %v, want %v", err, sinkErr)
+					}
+					break
+				}
+			}
+			if err := w.Close(); !errors.Is(err, sinkErr) {
+				t.Fatalf("Close error = %v, want %v", err, sinkErr)
+			}
+			if err := w.WriteFrame(frames[0]); err == nil {
+				t.Fatal("WriteFrame after failed Close succeeded")
+			}
+		})
+	}
+}
+
+// TestPipelineFlushSurfacesSinkError: Flush drains the pipeline and reports
+// the sink failure instead of claiming delivery.
+func TestPipelineFlushSurfacesSinkError(t *testing.T) {
+	sinkErr := errors.New("net down")
+	w, err := NewWriter(errSink{sinkErr}, Config{
+		ErrorBound: 1e-3, BufferSize: 4, CheckpointInterval: 2, PipelineDepth: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range makeFrames(8, 100, 6) {
+		if err := w.WriteFrame(f); err != nil {
+			if !errors.Is(err, sinkErr) {
+				t.Fatalf("WriteFrame error = %v, want %v", err, sinkErr)
+			}
+			break
+		}
+	}
+	if err := w.Flush(); !errors.Is(err, sinkErr) {
+		t.Fatalf("Flush error = %v, want %v", err, sinkErr)
+	}
+}
+
+// TestPipelineConfigValidation: the new knobs are range-checked up front.
+func TestPipelineConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{ErrorBound: 1e-3, PipelineDepth: -1},
+		{ErrorBound: 1e-3, PipelineDepth: MaxPipelineDepth + 1},
+		{ErrorBound: 1e-3, ADPSampleShards: -1},
+		{ErrorBound: 1e-3, ADPSampleShards: 1 << 20},
+	} {
+		if _, err := NewCompressor(cfg); err == nil {
+			t.Errorf("NewCompressor accepted %+v", cfg)
+		}
+		if _, err := NewWriter(&bytes.Buffer{}, cfg); err == nil {
+			t.Errorf("NewWriter accepted %+v", cfg)
+		}
+	}
+	if _, err := NewWriter(&bytes.Buffer{}, Config{
+		ErrorBound: 1e-3, PipelineDepth: MaxPipelineDepth, ADPSampleShards: 2,
+	}); err != nil {
+		t.Errorf("valid knobs rejected: %v", err)
+	}
+}

@@ -13,6 +13,13 @@ go build ./...
 go test ./...
 go test -race ./...
 
+# Constrained-parallelism smoke: the chunked shard scheduler and the
+# work-sharing pool must degrade gracefully when the runtime has almost no
+# cores to hand out — helper tokens stop being granted and chunked runs
+# collapse toward serial execution. GOMAXPROCS=2 is the smallest setting
+# where helpers can still spawn, so it exercises both sides of that edge.
+GOMAXPROCS=2 go test ./internal/pool ./internal/core
+
 # Fault-containment matrix under the race detector, twice: stream
 # corruption recovery, the CLI crash-consistency sweep, cancellation and
 # panic isolation all unwind work across goroutines, and a second run
@@ -51,3 +58,11 @@ make fuzz-short FUZZTIME=10s
 # beyond 2% (or a benchmark that fails to run at all) fails the gate:
 # ratios are deterministic, so a drop is a real encoder change.
 go run ./cmd/mdzbench -entropy -compare BENCH_entropy.json
+
+# Scaling gate, warn-only: diff a fresh Workers x Shards scaling run against
+# the committed report. Every delta here is wall-clock on the current host
+# (the committed report records its own GOMAXPROCS), so regressions print
+# WARNING lines instead of failing the gate; the compression-ratio guard on
+# the amortized-ADP knob lives in the deterministic test suite instead
+# (TestADPSampleShardsAcceptance).
+go run ./cmd/mdzbench -scale -compare BENCH_scale.json

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 
 	"github.com/mdz/mdz/internal/telemetry"
 )
@@ -61,6 +62,21 @@ const (
 	maxFramePayload = 1 << 31 // sanity cap on the claimed payload length
 )
 
+// MaxPipelineDepth caps Config.PipelineDepth: beyond a few in-flight
+// batches the overlap is already complete and additional depth only holds
+// more compressed blocks in memory.
+const MaxPipelineDepth = 64
+
+// wireItem is one framed record queued between the Writer's compress stage
+// and its io stage. The sequence number is assigned at enqueue time (in
+// deterministic caller order), so the io stage is pure framing: header
+// build, CRCs and writes.
+type wireItem struct {
+	typ     byte
+	seq     uint32
+	payload []byte
+}
+
 // Writer compresses frames onto an io.Writer as a framed MDZ stream,
 // buffering BufferSize snapshots per block — the natural interface for
 // in-situ dumping from a running simulation. Config.Workers and
@@ -88,6 +104,18 @@ type Writer struct {
 	// raw/compressed byte counters for reporting
 	rawBytes, compBytes int64
 	tel                 streamWriterTel
+
+	// Pipelined mode (Config.PipelineDepth > 0): frames are enqueued on
+	// pipe — already sequence-numbered and fully accounted — and a single
+	// io goroutine performs the header/CRC/write work, overlapping it with
+	// the caller's compression of the next batch. All counters above are
+	// caller-side and deterministic; only w.w is touched by the io
+	// goroutine, so every caller-side use of w.w first drains the queue.
+	pipe     chan wireItem
+	ioDone   chan struct{}
+	inflight sync.WaitGroup // enqueued but not yet emitted items
+	ioMu     sync.Mutex
+	ioErr    error // first io-stage failure; surfaces on the next drain
 }
 
 // streamWriterTel is the Writer's instrument set. All counters are nil-safe,
@@ -99,6 +127,11 @@ type streamWriterTel struct {
 	// CRCs); checkpointBytes the checkpoint payloads. Together they are the
 	// stream's cost over the bare compressed blocks.
 	framingBytes, checkpointBytes *telemetry.Counter
+	// pipelineStalls counts enqueues that found the pipeline queue full:
+	// the compress stage outran the io stage by the full PipelineDepth and
+	// had to wait. A high rate means the sink, not compression, bounds
+	// throughput (or the depth is too small).
+	pipelineStalls *telemetry.Counter
 }
 
 func newStreamWriterTel(reg *telemetry.Registry) streamWriterTel {
@@ -107,6 +140,7 @@ func newStreamWriterTel(reg *telemetry.Registry) streamWriterTel {
 		checkpoints:     reg.Counter("stream.checkpoints"),
 		framingBytes:    reg.Counter("stream.framing.bytes"),
 		checkpointBytes: reg.Counter("stream.checkpoint.bytes"),
+		pipelineStalls:  reg.Counter("stream.pipeline.stalls"),
 	}
 }
 
@@ -124,11 +158,19 @@ func NewWriter(w io.Writer, cfg Config) (*Writer, error) {
 	if bs <= 0 {
 		bs = DefaultBufferSize
 	}
-	return &Writer{
+	sw := &Writer{
 		c: c, w: bufio.NewWriterSize(w, 1<<20), bs: bs,
 		interval: cfg.CheckpointInterval,
 		tel:      newStreamWriterTel(c.reg),
-	}, nil
+	}
+	if cfg.PipelineDepth > 0 {
+		// One io goroutine per Writer; it owns w.w until Close. A pipelined
+		// Writer must be Closed (even after an error) to release it.
+		sw.pipe = make(chan wireItem, cfg.PipelineDepth)
+		sw.ioDone = make(chan struct{})
+		go sw.ioLoop()
+	}
+	return sw, nil
 }
 
 // WriteFrame buffers one snapshot, flushing a compressed block every
@@ -181,27 +223,14 @@ func (w *Writer) flush() error {
 }
 
 // writeFrame emits one framed record and accounts for its full wire size.
+// All accounting is caller-side (and therefore deterministic): in pipelined
+// mode only the header/CRC/write work of emitFrame is deferred to the io
+// goroutine, so the wire bytes are identical in both modes.
 func (w *Writer) writeFrame(typ byte, payload []byte) error {
 	if len(payload) > maxFramePayload {
 		return w.fail(fmt.Errorf("mdz: frame payload of %d bytes exceeds format limit", len(payload)))
 	}
-	var hdr [frameHeaderSize]byte
-	copy(hdr[:4], frameSync[:])
-	hdr[4] = typ
-	binary.LittleEndian.PutUint32(hdr[5:9], w.seq)
-	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[13:17], crc32.Checksum(hdr[4:13], crcTable))
-	if _, err := w.w.Write(hdr[:]); err != nil {
-		return w.fail(err)
-	}
-	if _, err := w.w.Write(payload); err != nil {
-		return w.fail(err)
-	}
-	var pcrc [frameCRCSize]byte
-	binary.LittleEndian.PutUint32(pcrc[:], crc32.Checksum(payload, crcTable))
-	if _, err := w.w.Write(pcrc[:]); err != nil {
-		return w.fail(err)
-	}
+	seq := w.seq
 	w.seq++
 	w.compBytes += int64(frameHeaderSize + len(payload) + frameCRCSize)
 	w.tel.frames.Inc()
@@ -210,7 +239,99 @@ func (w *Writer) writeFrame(typ byte, payload []byte) error {
 		w.tel.checkpoints.Inc()
 		w.tel.checkpointBytes.Add(int64(len(payload)))
 	}
+	if w.pipe != nil {
+		if err := w.ioFailure(); err != nil {
+			return w.fail(err)
+		}
+		it := wireItem{typ: typ, seq: seq, payload: payload}
+		w.inflight.Add(1)
+		select {
+		case w.pipe <- it:
+		default:
+			// Full queue: the io stage is the bottleneck right now.
+			w.tel.pipelineStalls.Inc()
+			w.pipe <- it
+		}
+		return nil
+	}
+	if err := w.emitFrame(wireItem{typ: typ, seq: seq, payload: payload}); err != nil {
+		return w.fail(err)
+	}
 	return nil
+}
+
+// emitFrame performs the io-stage work of one frame: header build, CRCs and
+// the three writes. It runs on the caller in synchronous mode and on the io
+// goroutine in pipelined mode, and never touches Writer state beyond w.w.
+func (w *Writer) emitFrame(it wireItem) error {
+	var hdr [frameHeaderSize]byte
+	copy(hdr[:4], frameSync[:])
+	hdr[4] = it.typ
+	binary.LittleEndian.PutUint32(hdr[5:9], it.seq)
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(it.payload)))
+	binary.LittleEndian.PutUint32(hdr[13:17], crc32.Checksum(hdr[4:13], crcTable))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(it.payload); err != nil {
+		return err
+	}
+	var pcrc [frameCRCSize]byte
+	binary.LittleEndian.PutUint32(pcrc[:], crc32.Checksum(it.payload, crcTable))
+	if _, err := w.w.Write(pcrc[:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ioLoop is the pipelined Writer's io stage: it frames and writes queued
+// items in enqueue order. After the first failure it keeps draining the
+// queue — dropping writes — so the compress stage never blocks on a dead
+// sink; the error surfaces through ioFailure on the next caller-side drain.
+func (w *Writer) ioLoop() {
+	defer close(w.ioDone)
+	for it := range w.pipe {
+		if w.ioFailure() == nil {
+			if err := w.emitFrame(it); err != nil {
+				w.ioMu.Lock()
+				w.ioErr = err
+				w.ioMu.Unlock()
+			}
+		}
+		w.inflight.Done()
+	}
+}
+
+// ioFailure reports the io stage's first failure, if any.
+func (w *Writer) ioFailure() error {
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	return w.ioErr
+}
+
+// drain blocks until every enqueued frame has been emitted (or dropped by a
+// failed io stage) and reports the io stage's first failure. After a clean
+// drain the caller may touch w.w: the io goroutine is parked on an empty
+// queue.
+func (w *Writer) drain() error {
+	if w.pipe == nil {
+		return nil
+	}
+	w.inflight.Wait()
+	return w.ioFailure()
+}
+
+// stopPipeline shuts the io stage down: closes the queue, waits for the io
+// goroutine to exit and reports its first failure. Idempotent; a no-op for
+// synchronous Writers.
+func (w *Writer) stopPipeline() error {
+	if w.pipe == nil {
+		return nil
+	}
+	close(w.pipe)
+	<-w.ioDone
+	w.pipe = nil
+	return w.ioFailure()
 }
 
 // writeCheckpoint embeds the compressor's current cross-batch state so a
@@ -245,6 +366,9 @@ func (w *Writer) Flush() error {
 	}
 	if w.closed {
 		return errors.New("mdz: Flush after Close")
+	}
+	if err := w.drain(); err != nil {
+		return w.fail(err)
 	}
 	if err := w.w.Flush(); err != nil {
 		return w.fail(err)
@@ -288,6 +412,12 @@ func (w *Writer) ExportState() (*WriterState, error) {
 	}
 	if w.closed {
 		return nil, errors.New("mdz: ExportState after Close")
+	}
+	// In-flight pipelined frames are part of the exported container prefix:
+	// drain them into w.w before flushing it, so the caller's copy of the
+	// container matches the exported cursor exactly.
+	if err := w.drain(); err != nil {
+		return nil, w.fail(err)
 	}
 	if err := w.w.Flush(); err != nil {
 		return nil, w.fail(err)
@@ -374,19 +504,26 @@ func (w *Writer) Close() error {
 	}
 	w.closed = true
 	if w.err != nil {
-		w.w.Flush() // best-effort: don't strand buffered bytes
+		w.stopPipeline() // release the io goroutine; original error wins
+		w.w.Flush()      // best-effort: don't strand buffered bytes
 		return w.err
 	}
 	if err := w.flush(); err != nil {
+		w.stopPipeline()
 		w.w.Flush()
 		return err
 	}
 	if w.opened {
 		trailer := bitstreamAppendTrailer(nil, w.frames, w.blocks)
 		if err := w.writeFrame(frameTrailer, trailer); err != nil {
+			w.stopPipeline()
 			w.w.Flush()
 			return err
 		}
+	}
+	if err := w.stopPipeline(); err != nil {
+		w.w.Flush()
+		return w.fail(err)
 	}
 	return w.w.Flush()
 }
