@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare bench-scale bench-lossless fuzz-short chaos loadtest
+.PHONY: all build test race vet fmt ci bench bench-entropy bench-compare bench-scale bench-read bench-lossless fuzz-short chaos loadtest
 
 all: build
 
@@ -40,6 +40,12 @@ bench-compare:
 # the committed report; CI diffs against it warn-only.
 bench-scale:
 	$(GO) run ./cmd/mdzbench -scale -json BENCH_scale.json
+
+# Fast-read-path benchmark: ReadRange of a tail window vs serial prefix
+# decode on an indexed stream, plus full decode over the pipeline x workers
+# grid. Refreshes the committed report; CI diffs against it warn-only.
+bench-read:
+	$(GO) run ./cmd/mdzbench -read -json BENCH_read.json
 
 # Short fuzz pass over every differential and parser fuzzer in the tree.
 # CI invokes this with FUZZTIME=10s; the default is a slightly longer local

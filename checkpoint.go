@@ -184,6 +184,11 @@ const writerStateVersion = 1
 const (
 	writerStateOpened     = 1 << 0
 	writerStateCheckpoint = 1 << 1
+	// writerStateSeekIndex marks a state exported from an indexing Writer
+	// (Config.SeekIndex); the payload then carries the seek-table entries
+	// accumulated so far. States without the flag encode byte-identically
+	// to the historical format.
+	writerStateSeekIndex = 1 << 2
 )
 
 // maxWriterStatePending caps the claimed pending-snapshot dimensions a
@@ -200,6 +205,9 @@ func (st *WriterState) MarshalBinary() ([]byte, error) {
 	}
 	if st.Checkpoint != nil {
 		flags |= writerStateCheckpoint
+	}
+	if st.SeekIndex {
+		flags |= writerStateSeekIndex
 	}
 	out = append(out, flags)
 	out = bitstream.AppendUvarint(out, uint64(st.Seq))
@@ -226,6 +234,9 @@ func (st *WriterState) MarshalBinary() ([]byte, error) {
 		out = bitstream.AppendFloat64s(out, f.X)
 		out = bitstream.AppendFloat64s(out, f.Y)
 		out = bitstream.AppendFloat64s(out, f.Z)
+	}
+	if st.SeekIndex {
+		out = bitstream.AppendSection(out, appendSeekIndex(nil, st.Index))
 	}
 	return out, nil
 }
@@ -288,6 +299,17 @@ func (st *WriterState) UnmarshalBinary(data []byte) error {
 		}
 		st.Pending[i] = f
 	}
+	st.SeekIndex = flags&writerStateSeekIndex != 0
+	st.Index = nil
+	if st.SeekIndex {
+		sec, err := br.ReadSection()
+		if err != nil {
+			return mapBlockErr(err)
+		}
+		if st.Index, err = parseSeekIndex(sec); err != nil {
+			return err
+		}
+	}
 	if br.Len() != 0 {
 		return fmt.Errorf("%w: trailing writer-state bytes", ErrCorruptBlock)
 	}
@@ -333,15 +355,16 @@ func (c *Compressor) ImportState(st *CheckpointState) error {
 	for axis := range c.enc {
 		ax := &st.Axes[axis]
 		enc, err := core.NewEncoder(core.Params{
-			ErrorBound:    ax.ErrorBound,
-			QuantScale:    ax.QuantScale,
-			Method:        c.cfg.Method,
-			Sequence:      c.cfg.Sequence,
-			AdaptInterval: c.cfg.AdaptInterval,
-			KMeans:        kmeans.Options{Seed: int64(axis) + 1},
-			Shards:        c.cfg.Shards,
-			FormatVersion: c.cfg.FormatVersion,
-			Pool:          c.pool,
+			ErrorBound:         ax.ErrorBound,
+			QuantScale:         ax.QuantScale,
+			Method:             c.cfg.Method,
+			Sequence:           c.cfg.Sequence,
+			AdaptInterval:      c.cfg.AdaptInterval,
+			ADPRetrialInterval: c.cfg.ADPRetrialInterval,
+			KMeans:             kmeans.Options{Seed: int64(axis) + 1},
+			Shards:             c.cfg.Shards,
+			FormatVersion:      c.cfg.FormatVersion,
+			Pool:               c.pool,
 		})
 		if err != nil {
 			return err

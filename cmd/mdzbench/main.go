@@ -22,6 +22,14 @@
 //	mdzbench -scale                         # human-readable table
 //	mdzbench -scale -json BENCH_scale.json  # also write the JSON report
 //	mdzbench -scale -compare BENCH_scale.json # warn-only diff against a report
+//
+// The fast-read-path benchmark (ReadRange of a tail window vs serial prefix
+// decode on an indexed stream, plus full decode over the pipeline x workers
+// grid):
+//
+//	mdzbench -read                          # human-readable table
+//	mdzbench -read -json BENCH_read.json    # also write the JSON report
+//	mdzbench -read -compare BENCH_read.json # warn-only diff against a report
 package main
 
 import (
@@ -43,14 +51,28 @@ func main() {
 	outDir := flag.String("out", "", "also write <exp>.csv files into this directory")
 	entropy := flag.Bool("entropy", false, "run the entropy-stage benchmark")
 	scaleBench := flag.Bool("scale", false, "run the multi-worker scaling benchmark (Workers x Shards grid)")
-	jsonPath := flag.String("json", "", "with -entropy/-scale: write the machine-readable report to this path")
-	compare := flag.String("compare", "", "with -entropy/-scale: diff the run against a committed report")
+	readBench := flag.Bool("read", false, "run the fast-read-path benchmark (ranged access + pipeline x workers grid)")
+	jsonPath := flag.String("json", "", "with -entropy/-scale/-read: write the machine-readable report to this path")
+	compare := flag.String("compare", "", "with -entropy/-scale/-read: diff the run against a committed report")
 	format := flag.String("format", "all", "with -entropy: wire-format versions to measure (v2, v3 or all)")
 	flag.Parse()
 
-	if *entropy && *scaleBench {
-		fmt.Fprintln(os.Stderr, "mdzbench: -entropy and -scale are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*entropy, *scaleBench, *readBench} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "mdzbench: -entropy, -scale and -read are mutually exclusive")
 		os.Exit(2)
+	}
+	if *readBench {
+		if err := runRead(*jsonPath, *compare, bench.Config{Scale: *scale, Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "mdzbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *scaleBench {
 		if err := runScale(*jsonPath, *compare, bench.Config{Scale: *scale, Seed: *seed}); err != nil {

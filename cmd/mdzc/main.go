@@ -9,6 +9,8 @@
 //	mdzc -c traj.mdzd -o traj.mdz -format 3  # v3 wire format (dual-lane entropy coding)
 //	mdzc -d traj.mdz -o restored.mdzd        # decompress (or -o restored.xyz)
 //	mdzc -d traj.mdz -o restored.mdzd -salvage   # recover what a corrupt stream still holds
+//	mdzc -d traj.mdz -o window.mdzd -range 100:200   # decode only snapshots [100, 200)
+//	mdzc -index traj.mdz -o traj-indexed.mdz # retrofit a seek table onto a legacy stream
 //	mdzc -fsck traj.mdz                      # verify framing + CRCs, report salvageable ranges
 //	mdzc -info traj.mdz                      # stream statistics
 package main
@@ -33,11 +35,15 @@ const fileMagic = "MDZC"
 // validation is testable apart from flag.Parse and os.Exit.
 type cliFlags struct {
 	compress, decompress, info, fsck string
+	index                            string
 	out, method                      string
 	eps                              float64
 	bs, checkpoint, format           int
 	workers, shards, pipeline        int
 	salvage                          bool
+	seekIndex                        bool
+	rangeSpec                        string
+	rangeLo, rangeHi                 int
 	noFsync                          bool
 	maxDecode                        int64
 
@@ -53,16 +59,32 @@ var testOutputWrap func(io.Writer) io.Writer
 // error (exit code 2).
 func validateFlags(f *cliFlags) error {
 	modes := 0
-	for _, m := range []string{f.compress, f.decompress, f.info, f.fsck} {
+	for _, m := range []string{f.compress, f.decompress, f.info, f.fsck, f.index} {
 		if m != "" {
 			modes++
 		}
 	}
 	if modes == 0 {
-		return fmt.Errorf("one of -c, -d, -info, -fsck required (see -h)")
+		return fmt.Errorf("one of -c, -d, -info, -fsck, -index required (see -h)")
 	}
 	if modes > 1 {
-		return fmt.Errorf("-c, -d, -info and -fsck are mutually exclusive")
+		return fmt.Errorf("-c, -d, -info, -fsck and -index are mutually exclusive")
+	}
+	if f.index != "" && f.out == "" {
+		return fmt.Errorf("-index writes the retrofitted stream to -o; add -o")
+	}
+	if f.rangeSpec != "" {
+		if f.decompress == "" {
+			return fmt.Errorf("-range selects snapshots to decompress; pair it with -d")
+		}
+		lo, hi, err := parseRange(f.rangeSpec)
+		if err != nil {
+			return err
+		}
+		f.rangeLo, f.rangeHi = lo, hi
+	}
+	if f.seekIndex && (f.compress == "" || f.checkpoint == 0) {
+		return fmt.Errorf("-seek-index embeds a frame index in a framed stream; pair it with -c and -checkpoint")
 	}
 	if f.salvage && f.decompress == "" {
 		return fmt.Errorf("-salvage only applies to decompression; pair it with -d")
@@ -82,8 +104,8 @@ func validateFlags(f *cliFlags) error {
 	if f.info != "" && f.out != "" {
 		return fmt.Errorf("-info writes no output; drop -o")
 	}
-	if f.noFsync && f.compress == "" && f.decompress == "" {
-		return fmt.Errorf("-no-fsync only applies to commands that write output; pair it with -c or -d")
+	if f.noFsync && f.compress == "" && f.decompress == "" && f.index == "" {
+		return fmt.Errorf("-no-fsync only applies to commands that write output; pair it with -c, -d or -index")
 	}
 	if f.maxDecode < 0 {
 		return fmt.Errorf("-max-decode must be non-negative, got %d", f.maxDecode)
@@ -103,10 +125,24 @@ func validateFlags(f *cliFlags) error {
 	if f.pipeline < 0 {
 		return fmt.Errorf("-pipeline must be non-negative, got %d", f.pipeline)
 	}
-	if f.pipeline != 0 && (f.compress == "" || f.checkpoint == 0) {
-		return fmt.Errorf("-pipeline overlaps compression with framed output; pair it with -c and -checkpoint")
+	if f.pipeline != 0 && f.compress != "" && f.checkpoint == 0 {
+		return fmt.Errorf("-pipeline overlaps compression with framed output; pair -c with -checkpoint")
+	}
+	if f.pipeline != 0 && f.compress == "" && f.decompress == "" {
+		return fmt.Errorf("-pipeline overlaps I/O with (de)compression; pair it with -c -checkpoint or -d")
 	}
 	return nil
+}
+
+// parseRange parses a -range lo:hi snapshot window (half-open, 0-based).
+func parseRange(spec string) (lo, hi int, err error) {
+	if _, err := fmt.Sscanf(spec, "%d:%d", &lo, &hi); err != nil {
+		return 0, 0, fmt.Errorf("-range wants lo:hi (half-open snapshot window), got %q", spec)
+	}
+	if lo < 0 || hi <= lo {
+		return 0, 0, fmt.Errorf("-range wants 0 <= lo < hi, got %q", spec)
+	}
+	return lo, hi, nil
 }
 
 func main() {
@@ -115,6 +151,7 @@ func main() {
 	flag.StringVar(&f.decompress, "d", "", "decompress: input .mdz path")
 	flag.StringVar(&f.info, "info", "", "print stream statistics for a .mdz path")
 	flag.StringVar(&f.fsck, "fsck", "", "verify framing and checksums of a .mdz path, reporting salvageable ranges")
+	flag.StringVar(&f.index, "index", "", "retrofit a seek table onto a framed .mdz path written without one (output via -o; frames are copied byte-for-byte)")
 	flag.StringVar(&f.out, "o", "", "output path")
 	flag.Float64Var(&f.eps, "eps", 1e-3, "value-range-based error bound")
 	flag.IntVar(&f.bs, "bs", 10, "buffer size (snapshots per batch)")
@@ -123,8 +160,10 @@ func main() {
 	flag.IntVar(&f.format, "format", 2, "with -c: wire-format version to write (2 = default, 3 = dual-lane entropy coding; not readable by pre-v3 builds)")
 	flag.IntVar(&f.workers, "workers", 0, "goroutines for parallel kernels (0 = GOMAXPROCS, 1 = serial); output bytes never depend on it")
 	flag.IntVar(&f.shards, "shards", 0, "with -c: contiguous particle shards per axis batch (0 = auto); part of the output format, so a fixed value pins output bytes across machines")
-	flag.IntVar(&f.pipeline, "pipeline", 0, "with -c -checkpoint: overlap compressing the next batch with framing and writing the previous, keeping up to N compressed batches in flight (0 = synchronous; bytes identical either way)")
+	flag.IntVar(&f.pipeline, "pipeline", 0, "with -c -checkpoint: overlap compressing the next batch with framing and writing the previous; with -d: overlap frame fetch with parallel decode, keeping up to N frames in flight (0 = synchronous; bytes identical either way)")
 	flag.BoolVar(&f.salvage, "salvage", false, "with -d: recover everything readable from a corrupt stream instead of failing")
+	flag.BoolVar(&f.seekIndex, "seek-index", false, "with -c -checkpoint: append a seek-table frame mapping snapshots to byte offsets, enabling O(1) -range reads")
+	flag.StringVar(&f.rangeSpec, "range", "", "with -d: decode only the half-open snapshot window lo:hi (e.g. 100:200) instead of the whole stream; needs a framed input")
 	flag.BoolVar(&f.noFsync, "no-fsync", false, "skip fsync when writing output: faster, but a machine crash can lose the file (the atomic temp-file+rename commit is kept either way)")
 	flag.Int64Var(&f.maxDecode, "max-decode", 0, "with -d/-info/-fsck: cap decode-side memory driven by claimed sizes in the input, in bytes (0 = unlimited); over-budget inputs are rejected, not decoded")
 	flag.StringVar(&f.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars and pprof /debug/pprof/ on this address while the command runs")
@@ -152,6 +191,8 @@ func main() {
 		err = doInfo(&f, o)
 	case f.fsck != "":
 		err = doFsck(&f, o)
+	case f.index != "":
+		err = doIndex(&f, o)
 	}
 	o.finish()
 	if err != nil {
@@ -187,6 +228,7 @@ func doCompress(f *cliFlags, o *obs) error {
 		// -salvage and checkable by -fsck.
 		cfg.CheckpointInterval = f.checkpoint
 		cfg.PipelineDepth = f.pipeline
+		cfg.SeekIndex = f.seekIndex
 		var sb bytes.Buffer
 		w, err := mdz.NewWriter(&sb, cfg)
 		if err != nil {
@@ -291,11 +333,21 @@ func decodeStream(stream []byte, salvage bool, f *cliFlags, o *obs) ([]mdz.Frame
 		switch string(stream[:4]) {
 		case "MDZW", "MDZ2", "MDZ3":
 			r := mdz.NewReaderWith(bytes.NewReader(stream),
-				mdz.ReaderOptions{Workers: f.workers, Resync: salvage, Telemetry: o.enabled(), MaxDecodeBytes: f.maxDecode})
+				mdz.ReaderOptions{Workers: f.workers, Pipeline: f.pipeline, Resync: salvage,
+					Telemetry: o.enabled(), MaxDecodeBytes: f.maxDecode})
 			if err := o.attach(r.TelemetryRegistry()); err != nil {
 				return nil, nil, err
 			}
-			frames, err := r.ReadAll()
+			var frames []mdz.Frame
+			var err error
+			if f.rangeSpec != "" {
+				frames, err = r.ReadRange(f.rangeLo, f.rangeHi)
+				if err == io.EOF {
+					err = fmt.Errorf("-range %s starts past the end of the stream", f.rangeSpec)
+				}
+			} else {
+				frames, err = r.ReadAll()
+			}
 			if err != nil {
 				return frames, nil, err
 			}
@@ -305,6 +357,9 @@ func decodeStream(stream []byte, salvage bool, f *cliFlags, o *obs) ([]mdz.Frame
 	}
 	if salvage {
 		return nil, nil, fmt.Errorf("-salvage requires a framed stream (got a one-shot payload)")
+	}
+	if f.rangeSpec != "" {
+		return nil, nil, fmt.Errorf("-range requires a framed stream (got a one-shot payload)")
 	}
 	d := mdz.NewDecompressorWith(mdz.DecompressorOptions{Workers: f.workers, Telemetry: o.enabled(), MaxDecodeBytes: f.maxDecode})
 	if err := o.attach(d.TelemetryRegistry()); err != nil {
@@ -432,6 +487,47 @@ func doFsck(f *cliFlags, o *obs) error {
 		fmt.Fprintf(o.humanOut(), "%s: lost frames [%d, %d)\n", in, lr.From, lr.To)
 	}
 	return fmt.Errorf("fsck: %s is corrupt", in)
+}
+
+// doIndex retrofits a seek table onto a framed stream written without one
+// (-index in.mdz -o out.mdz). The container metadata and every existing
+// frame are copied byte-for-byte; only the tail gains a seek-table frame —
+// the output is exactly what -c -seek-index would have produced.
+func doIndex(f *cliFlags, o *obs) error {
+	in := f.index
+	meta, stream, err := parseContainer(in)
+	if err != nil {
+		return err
+	}
+	if len(stream) < 4 {
+		return fmt.Errorf("%s holds no stream payload", in)
+	}
+	switch string(stream[:4]) {
+	case "MDZ2", "MDZ3":
+	case "MDZW":
+		return fmt.Errorf("-index requires a v2/v3 framed stream; %s is v1 (recompress with -checkpoint)", in)
+	default:
+		return fmt.Errorf("-index requires a framed stream; %s holds a one-shot payload (recompress with -checkpoint)", in)
+	}
+	var indexed bytes.Buffer
+	frames, err := mdz.RetrofitSeekIndex(bytes.NewReader(stream), &indexed)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	buf = append(buf, fileMagic...)
+	for _, s := range meta {
+		buf = appendString(buf, s)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(indexed.Len()))
+	buf = append(buf, indexed.Bytes()...)
+	if err := safeio.WriteFileBytes(f.out, buf, safeio.Options{NoSync: f.noFsync, WrapWriter: testOutputWrap}); err != nil {
+		return err
+	}
+	o.report = statsReport{Command: "index", Input: in, Output: f.out, CompressedBytes: int64(indexed.Len())}
+	fmt.Fprintf(o.humanOut(), "indexed %s: %d frames, %d -> %d bytes -> %s\n",
+		in, frames, len(stream), indexed.Len(), f.out)
+	return nil
 }
 
 func doInfo(f *cliFlags, o *obs) error {

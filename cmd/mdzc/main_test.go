@@ -58,8 +58,19 @@ func TestValidateFlags(t *testing.T) {
 		{"shards negative", cliFlags{compress: "in", out: "out", shards: -2}, true},
 		{"pipeline with framed -c", cliFlags{compress: "in", out: "out", checkpoint: 4, pipeline: 2}, false},
 		{"pipeline without checkpoint", cliFlags{compress: "in", out: "out", pipeline: 2}, true},
-		{"pipeline without -c", cliFlags{decompress: "in", out: "out", pipeline: 1}, true},
+		{"pipeline with -d", cliFlags{decompress: "in", out: "out", pipeline: 1}, false},
+		{"pipeline with -info", cliFlags{info: "in", pipeline: 1}, true},
 		{"pipeline negative", cliFlags{compress: "in", out: "out", checkpoint: 4, pipeline: -1}, true},
+		{"seek-index with framed -c", cliFlags{compress: "in", out: "out", checkpoint: 4, seekIndex: true}, false},
+		{"seek-index without checkpoint", cliFlags{compress: "in", out: "out", seekIndex: true}, true},
+		{"seek-index with -d", cliFlags{decompress: "in", out: "out", seekIndex: true}, true},
+		{"range with -d", cliFlags{decompress: "in", out: "out", rangeSpec: "5:10"}, false},
+		{"range without -d", cliFlags{compress: "in", out: "out", rangeSpec: "5:10"}, true},
+		{"range malformed", cliFlags{decompress: "in", out: "out", rangeSpec: "5-10"}, true},
+		{"range inverted", cliFlags{decompress: "in", out: "out", rangeSpec: "10:5"}, true},
+		{"index with -o", cliFlags{index: "in", out: "out"}, false},
+		{"index without -o", cliFlags{index: "in"}, true},
+		{"index plus -d", cliFlags{index: "in", decompress: "in2", out: "out"}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -466,5 +477,108 @@ func TestMaxDecodeFlag(t *testing.T) {
 	}
 	if d, err := dataset.Load(restored); err != nil || d.M() != 12 {
 		t.Fatalf("round trip under generous budget: %v", err)
+	}
+}
+
+// TestRangeAndIndexCLI drives the random-access surface end to end:
+// -c -seek-index writes an indexed stream, -d -range decodes exactly the
+// requested window (pipelined and serial alike), and -index retrofits a
+// legacy stream into bytes identical to the natively indexed one.
+func TestRangeAndIndexCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := writeTestTrajectory(t, dir)
+	indexed := filepath.Join(dir, "indexed.mdz")
+	if err := doCompress(&cliFlags{
+		compress: in, out: indexed,
+		eps: 1e-3, bs: 2, method: "ADP", format: 2,
+		checkpoint: 2, seekIndex: true,
+	}, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+
+	full := filepath.Join(dir, "full.mdzd")
+	if err := doDecompress(&cliFlags{decompress: indexed, out: full}, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := dataset.Load(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, pipeline := range []int{0, 4} {
+		window := filepath.Join(dir, "window.mdzd")
+		f := &cliFlags{decompress: indexed, out: window, rangeSpec: "5:9", pipeline: pipeline}
+		if err := validateFlags(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := doDecompress(f, &obs{}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dataset.Load(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.M() != 4 {
+			t.Fatalf("pipeline %d: -range 5:9 decoded %d snapshots, want 4", pipeline, got.M())
+		}
+		for s := 0; s < 4; s++ {
+			for i := range got.Frames[s].X {
+				if got.Frames[s].X[i] != want.Frames[5+s].X[i] {
+					t.Fatalf("pipeline %d: window snapshot %d differs from full decode", pipeline, s)
+				}
+			}
+		}
+		os.Remove(window)
+	}
+
+	// A past-the-end range is a clean error, not an empty output file.
+	f := &cliFlags{decompress: indexed, out: filepath.Join(dir, "none.mdzd"), rangeSpec: "100:200"}
+	if err := validateFlags(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := doDecompress(f, &obs{}); err == nil || !strings.Contains(err.Error(), "past the end") {
+		t.Fatalf("past-end -range err = %v", err)
+	}
+
+	// Retrofit: compress the same input without an index, -index it, and
+	// compare payload bytes against the natively indexed stream.
+	legacy := filepath.Join(dir, "legacy.mdz")
+	if err := doCompress(&cliFlags{
+		compress: in, out: legacy,
+		eps: 1e-3, bs: 2, method: "ADP", format: 2, checkpoint: 2,
+	}, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	retro := filepath.Join(dir, "retro.mdz")
+	if err := doIndex(&cliFlags{index: legacy, out: retro}, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	_, wantStream, err := parseContainer(indexed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gotStream, err := parseContainer(retro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotStream, wantStream) {
+		t.Fatal("-index output differs from a natively -seek-index stream")
+	}
+
+	// Retrofitting twice or indexing a one-shot payload is rejected.
+	if err := doIndex(&cliFlags{index: retro, out: filepath.Join(dir, "again.mdz")}, &obs{}); err == nil {
+		t.Fatal("-index accepted an already-indexed stream")
+	}
+	oneshot := filepath.Join(dir, "oneshot.mdz")
+	if err := doCompress(&cliFlags{compress: in, out: oneshot, eps: 1e-3, bs: 4, method: "ADP"}, &obs{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := doIndex(&cliFlags{index: oneshot, out: filepath.Join(dir, "bad.mdz")}, &obs{}); err == nil {
+		t.Fatal("-index accepted a one-shot payload")
+	}
+
+	// The indexed stream still passes -fsck.
+	if err := doFsck(&cliFlags{fsck: indexed}, &obs{}); err != nil {
+		t.Fatalf("-fsck on indexed stream: %v", err)
 	}
 }

@@ -94,6 +94,11 @@ func (s Sequence) String() string {
 // compression operations (batches).
 const DefaultAdaptInterval = 50
 
+// adpDriftFrac is the relative compression-ratio drift that forces a reused
+// ADP winner (Params.ADPRetrialInterval) back through a full trial round
+// early: the regime has visibly shifted, so the cached ranking is suspect.
+const adpDriftFrac = 0.10
+
 // MaxShards bounds the per-block shard count, keeping headers small and
 // rejecting absurd counts in corrupted blocks.
 const MaxShards = 4096
@@ -173,6 +178,19 @@ type Params struct {
 	// params), never affecting the error bound, and invisibly to the
 	// decoder, which reads the method from each block header.
 	ADPSampleShards int
+	// ADPRetrialInterval, when > 1, amortizes ADP across evaluation rounds:
+	// the VQ/VQT/MT trial trio runs only on every ADPRetrialInterval-th
+	// evaluation round; the rounds between encode with the cached winner and
+	// merely verify it, re-running the full trio early whenever the achieved
+	// compression ratio drifts more than adpDriftFrac from the last trial's.
+	// This amortizes the evaluation cost that ADPSampleShards cannot touch
+	// on single-shard batches. Like sampling it can change which method
+	// encodes a batch — and therefore the output bytes, deterministically,
+	// never the error bound; the decoder reads the method from each block
+	// header. 0 or 1 (the default) trials every round (historical bytes).
+	// Batches 0 and 1 always trial, so a fresh (or checkpoint-resumed)
+	// encoder re-anchors before any reuse.
+	ADPRetrialInterval int
 	// Pool bounds the goroutines used for shard- and ADP-trial-level
 	// parallelism. A nil pool runs serially; pool size never changes the
 	// output bytes.
@@ -220,6 +238,9 @@ func (p *Params) fill() error {
 	}
 	if p.ADPSampleShards < 0 || p.ADPSampleShards > MaxShards {
 		return fmt.Errorf("core: ADPSampleShards must be in [0, %d], got %d", MaxShards, p.ADPSampleShards)
+	}
+	if p.ADPRetrialInterval < 0 {
+		return fmt.Errorf("core: ADPRetrialInterval must be non-negative, got %d", p.ADPRetrialInterval)
 	}
 	if p.Backend == nil {
 		p.Backend = lossless.LZ{}
@@ -302,6 +323,13 @@ type Encoder struct {
 	cur   Method    // concrete method in use (ADP resolves to one of the three)
 	batch int       // batches encoded so far
 	tel   Telemetry // by value: zero struct (all-nil fields) when disabled
+	// Cross-round trial cache (Params.ADPRetrialInterval): evaluation rounds
+	// since the last full trial, and the compression ratio the winner
+	// achieved then (0 until a trial has run; the drift check is against it).
+	// Not part of the checkpoint wire state: a resumed encoder starts with a
+	// cold cache and re-trials on its first evaluation round.
+	evalsSinceTrial int
+	trialRatio      float64
 	// Stats accumulates encoder-side statistics for benchmarks.
 	Stats Stats
 }
@@ -400,61 +428,38 @@ func (e *Encoder) EncodeBatchContext(ctx context.Context, batch [][]float64) ([]
 	var out []byte
 	var recon0 []float64
 	if adapt {
-		e.Stats.Evaluations++
-		e.tel.Evals.Inc()
-		prev := e.cur
-		// The three candidate trial compressions are independent; run them
-		// concurrently on the shared pool and pick the winner in fixed
-		// method order so the selection is deterministic.
-		methods := [...]Method{VQ, VQT, MT}
-		if sub, ok := e.sampleBatch(batch); ok {
-			// Amortized evaluation (Params.ADPSampleShards): judge the trio
-			// on a shard-prefix sub-batch, then encode the full batch once
-			// with the winner. Trial blocks are discarded — only their sizes
-			// compete — so the sub-batch sharing real shard sizes is what
-			// keeps the per-shard overhead fraction representative.
-			e.tel.SampledEvals.Inc()
-			var sizes [3]int
-			err := e.p.Pool.RunContext(ctx, len(methods), func(i int) error {
-				blk, _, terr := e.encodeWithShards(ctx, methods[i], sub, e.p.ADPSampleShards)
-				sizes[i] = len(blk)
-				return terr
-			})
-			if err != nil {
-				return nil, err
-			}
-			bestLen := math.MaxInt
-			for i, m := range methods {
-				if sizes[i] < bestLen {
-					bestLen, e.cur = sizes[i], m
-				}
-			}
+		// Trial-reuse (Params.ADPRetrialInterval): between full trial rounds
+		// the cached winner encodes the batch directly, and only its achieved
+		// ratio is checked — a drift beyond adpDriftFrac discards the reuse
+		// encode and falls through to the full trio below. Batches 0 and 1
+		// always trial (no ratio anchor yet, and batch 0's winner is
+		// unrepresentative — see the comment above).
+		reuse := e.p.ADPRetrialInterval > 1 && e.batch > 1 &&
+			e.evalsSinceTrial < e.p.ADPRetrialInterval-1 && e.trialRatio > 0
+		if reuse {
+			var err error
 			out, recon0, err = e.encodeWith(ctx, e.cur, batch)
 			if err != nil {
 				return nil, err
 			}
-		} else {
-			var blks [3][]byte
-			var r0s [3][]float64
-			err := e.p.Pool.RunContext(ctx, len(methods), func(i int) error {
-				var terr error
-				blks[i], r0s[i], terr = e.encodeWith(ctx, methods[i], batch)
-				return terr
-			})
-			if err != nil {
-				return nil, err
-			}
-			bestLen := math.MaxInt
-			for i, m := range methods {
-				if len(blks[i]) < bestLen {
-					bestLen = len(blks[i])
-					out, recon0, e.cur = blks[i], r0s[i], m
-				}
+			ratio := float64(len(out)) / float64(len(batch)*n*8)
+			if math.Abs(ratio-e.trialRatio) > adpDriftFrac*e.trialRatio {
+				// Regime shift: the cached ranking is suspect. Re-trial now.
+				reuse = false
+				out, recon0 = nil, nil
+			} else {
+				e.evalsSinceTrial++
+				e.tel.ReusedEvals.Inc()
 			}
 		}
-		e.tel.Wins[e.cur].Inc()
-		if e.cur != prev {
-			e.tel.Transitions.Inc()
+		if reuse {
+			// Reused round: no trial ran, so no Evals/Wins/Transitions.
+		} else {
+			if err := e.adaptTrial(ctx, batch, &out, &recon0); err != nil {
+				return nil, err
+			}
+			e.evalsSinceTrial = 0
+			e.trialRatio = float64(len(out)) / float64(len(batch)*n*8)
 		}
 	} else {
 		m := e.cur
@@ -478,6 +483,69 @@ func (e *Encoder) EncodeBatchContext(ctx context.Context, batch [][]float64) ([]
 	e.tel.Batches.Inc()
 	sw.Stop()
 	return out, nil
+}
+
+// adaptTrial runs one full ADP evaluation round — the VQ/VQT/MT trio
+// (sampled when Params.ADPSampleShards allows) — selects the winner into
+// e.cur and stores the winning full-batch block into *out/*recon0.
+func (e *Encoder) adaptTrial(ctx context.Context, batch [][]float64, out *[]byte, recon0 *[]float64) error {
+	e.Stats.Evaluations++
+	e.tel.Evals.Inc()
+	prev := e.cur
+	// The three candidate trial compressions are independent; run them
+	// concurrently on the shared pool and pick the winner in fixed
+	// method order so the selection is deterministic.
+	methods := [...]Method{VQ, VQT, MT}
+	if sub, ok := e.sampleBatch(batch); ok {
+		// Amortized evaluation (Params.ADPSampleShards): judge the trio
+		// on a shard-prefix sub-batch, then encode the full batch once
+		// with the winner. Trial blocks are discarded — only their sizes
+		// compete — so the sub-batch sharing real shard sizes is what
+		// keeps the per-shard overhead fraction representative.
+		e.tel.SampledEvals.Inc()
+		var sizes [3]int
+		err := e.p.Pool.RunContext(ctx, len(methods), func(i int) error {
+			blk, _, terr := e.encodeWithShards(ctx, methods[i], sub, e.p.ADPSampleShards)
+			sizes[i] = len(blk)
+			return terr
+		})
+		if err != nil {
+			return err
+		}
+		bestLen := math.MaxInt
+		for i, m := range methods {
+			if sizes[i] < bestLen {
+				bestLen, e.cur = sizes[i], m
+			}
+		}
+		*out, *recon0, err = e.encodeWith(ctx, e.cur, batch)
+		if err != nil {
+			return err
+		}
+	} else {
+		var blks [3][]byte
+		var r0s [3][]float64
+		err := e.p.Pool.RunContext(ctx, len(methods), func(i int) error {
+			var terr error
+			blks[i], r0s[i], terr = e.encodeWith(ctx, methods[i], batch)
+			return terr
+		})
+		if err != nil {
+			return err
+		}
+		bestLen := math.MaxInt
+		for i, m := range methods {
+			if len(blks[i]) < bestLen {
+				bestLen = len(blks[i])
+				*out, *recon0, e.cur = blks[i], r0s[i], m
+			}
+		}
+	}
+	e.tel.Wins[e.cur].Inc()
+	if e.cur != prev {
+		e.tel.Transitions.Inc()
+	}
+	return nil
 }
 
 // initLevels runs the sampled optimal k-means once per encoder lifetime.

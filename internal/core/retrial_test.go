@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/mdz/mdz/internal/telemetry"
+)
+
+// TestADPRetrialIntervalAcceptance is the gate on the cross-round ADP
+// trial-reuse knob: on a stream with a regime change mid-way (temporally
+// smooth, then crystalline), re-trialing only every 3rd evaluation round
+// must stay within 2% of the every-round-trial compressed size, honor the
+// error bound, and be fully deterministic. The reused counter proves the
+// reuse path actually ran, and the drift check must still converge on the
+// new regime (transitions > 0 in the retrial run too).
+func TestADPRetrialIntervalAcceptance(t *testing.T) {
+	const eb = 1e-3
+	var batches [][][]float64
+	liquid := liquidBatch(96, 600, 11)
+	for i := 0; i < 96; i += 8 {
+		batches = append(batches, liquid[i:i+8])
+	}
+	crystal := crystalBatch(96, 600, 12)
+	for i := 0; i < 96; i += 8 {
+		batches = append(batches, crystal[i:i+8])
+	}
+
+	// Shards: 1 — exactly the configuration ADPSampleShards cannot amortize
+	// (sampling needs S < K), which is what this knob exists for.
+	base := Params{ErrorBound: eb, Method: ADP, AdaptInterval: 2, Shards: 1}
+	full := encodeAll(t, base, batches, eb)
+
+	reg := telemetry.NewRegistry()
+	retrialParams := base
+	retrialParams.ADPRetrialInterval = 3
+	retrialParams.Tel = EncoderInstruments(reg, "x")
+	retrial := encodeAll(t, retrialParams, batches, eb)
+
+	reused := reg.Counter("compress.adp.x.reused_evals").Value()
+	if reused == 0 {
+		t.Fatal("reused_evals = 0: the trial-reuse path never engaged")
+	}
+	evals := reg.Counter("compress.adp.x.evals").Value()
+	if evals == 0 {
+		t.Fatal("evals = 0: no full trial ever ran")
+	}
+	// The whole point: strictly fewer trial rounds than the every-round
+	// baseline would have run (reused rounds are not counted in evals).
+	if wantRounds := int64(len(batches)-1)/int64(base.AdaptInterval) + 2; evals >= wantRounds {
+		t.Fatalf("evals = %d, want fewer than the %d evaluation rounds", evals, wantRounds)
+	}
+	// The knob trades trial cost for selection fidelity; the acceptance bar
+	// is a compressed size within 2% of every-round trials on this workload.
+	if limit := int(float64(len(full)) * 1.02); len(retrial) > limit {
+		t.Fatalf("retrial ADP output %d B exceeds 1.02x full-trial output %d B", len(retrial), len(full))
+	}
+
+	again := encodeAll(t, retrialParams, batches, eb)
+	if !bytes.Equal(retrial, again) {
+		t.Fatal("retrial ADP output is not deterministic across runs")
+	}
+}
+
+// TestADPRetrialDrift: a hard regime shift between trial rounds must trip
+// the drift check and re-trial early rather than ride the stale winner to
+// the next scheduled round.
+func TestADPRetrialDrift(t *testing.T) {
+	const eb = 1e-3
+	var batches [][][]float64
+	liquid := liquidBatch(40, 400, 7)
+	for i := 0; i < 40; i += 8 {
+		batches = append(batches, liquid[i:i+8])
+	}
+	crystal := crystalBatch(40, 400, 8)
+	for i := 0; i < 40; i += 8 {
+		batches = append(batches, crystal[i:i+8])
+	}
+
+	reg := telemetry.NewRegistry()
+	p := Params{
+		ErrorBound: eb, Method: ADP, AdaptInterval: 1, Shards: 1,
+		// Interval far beyond the stream length: without the drift check no
+		// second trial would ever run.
+		ADPRetrialInterval: 1000,
+		Tel:                EncoderInstruments(reg, "x"),
+	}
+	encodeAll(t, p, batches, eb)
+
+	// Batches 0 and 1 always trial; the regime shift must force at least one
+	// more full trial despite the huge interval.
+	if evals := reg.Counter("compress.adp.x.evals").Value(); evals <= 2 {
+		t.Fatalf("evals = %d: the drift check never forced a re-trial across the regime shift", evals)
+	}
+	if reused := reg.Counter("compress.adp.x.reused_evals").Value(); reused == 0 {
+		t.Fatal("reused_evals = 0: the reuse path never engaged")
+	}
+}
+
+// TestADPRetrialIntervalValidation: the knob rejects negative values and
+// treats 0/1 as the historical every-round behaviour.
+func TestADPRetrialIntervalValidation(t *testing.T) {
+	if _, err := NewEncoder(Params{ErrorBound: 1e-3, ADPRetrialInterval: -1}); err == nil {
+		t.Error("negative ADPRetrialInterval accepted")
+	}
+	for _, v := range []int{0, 1, 2} {
+		if _, err := NewEncoder(Params{ErrorBound: 1e-3, ADPRetrialInterval: v}); err != nil {
+			t.Errorf("ADPRetrialInterval %d rejected: %v", v, err)
+		}
+	}
+}
+
+// TestADPRetrialOffIdentity: 0 and 1 produce byte-identical output to the
+// historical every-round configuration.
+func TestADPRetrialOffIdentity(t *testing.T) {
+	const eb = 1e-3
+	var batches [][][]float64
+	liquid := liquidBatch(32, 300, 5)
+	for i := 0; i < 32; i += 8 {
+		batches = append(batches, liquid[i:i+8])
+	}
+	base := Params{ErrorBound: eb, Method: ADP, AdaptInterval: 2}
+	ref := encodeAll(t, base, batches, eb)
+	for _, v := range []int{0, 1} {
+		p := base
+		p.ADPRetrialInterval = v
+		if got := encodeAll(t, p, batches, eb); !bytes.Equal(got, ref) {
+			t.Fatalf("ADPRetrialInterval=%d changed output bytes vs the default", v)
+		}
+	}
+}

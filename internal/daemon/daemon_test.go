@@ -533,3 +533,48 @@ func TestDaemonTenantMetrics(t *testing.T) {
 		t.Errorf("empty tenant = %q", got)
 	}
 }
+
+// TestDaemonSeekIndexedRange: a seek_index session's drained container
+// carries a seek table, and ranged reads of it — through the session
+// endpoint and the stateless /v1/decode — return the same frames as the
+// serial path, now via the index fast path.
+func TestDaemonSeekIndexedRange(t *testing.T) {
+	_, tc := newTestEnv(t, Options{})
+	traj := makeTraj(20, 60, 9)
+	id := tc.create(`{"error_bound":1e-3,"buffer_size":2,"checkpoint_interval":3,"seek_index":true}`)
+	tc.do(http.MethodPost, "/v1/sessions/"+id+"/frames", encodeWireFrames(t, traj), http.StatusAccepted)
+	tc.do(http.MethodPost, "/v1/sessions/"+id+"/close", nil, http.StatusOK)
+
+	all := decodeWireFrames(t, tc.do(http.MethodGet, "/v1/sessions/"+id+"/frames", nil, http.StatusOK))
+	if len(all) != 20 {
+		t.Fatalf("full read returned %d frames, want 20", len(all))
+	}
+	window := decodeWireFrames(t, tc.do(http.MethodGet, "/v1/sessions/"+id+"/frames?from=13&count=5", nil, http.StatusOK))
+	if len(window) != 5 || !framesEqual(window, all[13:18]) {
+		t.Fatalf("indexed ranged read [13,18) returned %d frames or wrong content", len(window))
+	}
+
+	// The drained container itself must carry the index frame: a strict
+	// in-process Seek against it must succeed without a scan rebuild.
+	container := tc.do(http.MethodGet, "/v1/sessions/"+id+"/stream", nil, http.StatusOK)
+	stream := container // container bytes ARE the stream for the daemon
+	rd := mdz.NewReader(bytes.NewReader(stream))
+	got, err := rd.ReadRange(13, 18)
+	if err != nil {
+		t.Fatalf("ReadRange over drained container: %v", err)
+	}
+	if !framesEqual(got, all[13:18]) {
+		t.Fatal("ReadRange frames differ from endpoint frames")
+	}
+
+	// Stateless decode endpoint, same window.
+	dec := decodeWireFrames(t, tc.do(http.MethodPost, "/v1/decode?from=13&count=5", stream, http.StatusOK))
+	if len(dec) != 5 || !framesEqual(dec, all[13:18]) {
+		t.Fatalf("stateless ranged decode returned %d frames or wrong content", len(dec))
+	}
+	// Past-the-end ranges yield an empty, successful response.
+	empty := decodeWireFrames(t, tc.do(http.MethodPost, "/v1/decode?from=100&count=5", stream, http.StatusOK))
+	if len(empty) != 0 {
+		t.Fatalf("past-end ranged decode returned %d frames, want 0", len(empty))
+	}
+}

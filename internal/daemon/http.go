@@ -93,6 +93,10 @@ type SessionConfig struct {
 	// output bytes identical). Capped at maxSessionPipeline because each
 	// in-flight batch holds compressed bytes outside the session budget.
 	PipelineDepth int `json:"pipeline_depth,omitempty"`
+	// SeekIndex appends a seek-table frame when the session closes, so
+	// ranged reads of the drained container seek straight to the window
+	// instead of decoding the prefix.
+	SeekIndex bool `json:"seek_index,omitempty"`
 }
 
 // Per-session caps on client-supplied parallelism knobs. Workers are
@@ -131,6 +135,7 @@ func (sc *SessionConfig) toConfig() (mdz.Config, error) {
 		Shards:             sc.Shards,
 		ADPSampleShards:    sc.ADPSampleShards,
 		PipelineDepth:      sc.PipelineDepth,
+		SeekIndex:          sc.SeekIndex,
 	}
 	if sc.AbsoluteBound {
 		cfg.Mode = mdz.Absolute
@@ -367,8 +372,7 @@ func (srv *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		Context:        r.Context(),
 		MaxDecodeBytes: srv.opts.MaxDecodeBytes,
 	}
-	rd := mdz.NewReaderWith(bytes.NewReader(data), opts)
-	frames, derr := readRange(rd, from, count)
+	frames, rd, derr := readRange(data, opts, from, count)
 	if derr != nil && !salvage {
 		srv.httpError(w, derr)
 		return
@@ -387,12 +391,11 @@ func (srv *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 // tolerateTruncation accepts a stream that ends without a trailer — the
 // normal state of a live session's container.
 func (srv *Server) decodeRange(ctx context.Context, data []byte, from, count int, salvage, tolerateTruncation bool) ([]mdz.Frame, error) {
-	rd := mdz.NewReaderWith(bytes.NewReader(data), mdz.ReaderOptions{
+	frames, _, err := readRange(data, mdz.ReaderOptions{
 		Resync:         salvage,
 		Context:        ctx,
 		MaxDecodeBytes: srv.opts.MaxDecodeBytes,
-	})
-	frames, err := readRange(rd, from, count)
+	}, from, count)
 	if err != nil && tolerateTruncation && errors.Is(err, mdz.ErrTruncated) {
 		err = nil
 	}
@@ -402,12 +405,50 @@ func (srv *Server) decodeRange(ctx context.Context, data []byte, from, count int
 	return frames, nil
 }
 
-// readRange drives a Reader, discarding `from` frames and collecting up to
-// `count` (count < 0 = all). Reaching EOF early is not an error: the
-// response simply carries fewer frames.
-func readRange(rd *mdz.Reader, from, count int) ([]mdz.Frame, error) {
+// readRange decodes the frame window [from, from+count) from container
+// bytes (count < 0 = all remaining). In strict mode with from > 0 it first
+// tries Reader.Seek, which jumps via the stream's frame index (present or
+// scan-rebuilt) without decoding the prefix; any stream that cannot seek —
+// v1, one-shot, or a live container without a trailer yet — falls back to
+// the serial discard transparently. Salvage mode always reads serially so
+// the from/count numbering matches the salvaged frame sequence. Reaching
+// EOF early is not an error: the response simply carries fewer frames.
+// Returns the Reader actually used so callers can inspect its stats.
+func readRange(data []byte, opts mdz.ReaderOptions, from, count int) ([]mdz.Frame, *mdz.Reader, error) {
+	if from > 0 && !opts.Resync {
+		rd := mdz.NewReaderWith(bytes.NewReader(data), opts)
+		switch err := rd.Seek(from); {
+		case err == nil:
+			out, cerr := collectFrames(rd, count)
+			return out, rd, cerr
+		case errors.Is(err, io.EOF):
+			return nil, rd, nil
+		}
+		// Seek unavailable for this stream: fall through to a fresh serial
+		// reader (the failed Seek may have left this one positioned oddly).
+	}
+	rd := mdz.NewReaderWith(bytes.NewReader(data), opts)
 	var out []mdz.Frame
 	for i := 0; count < 0 || len(out) < count; i++ {
+		f, err := rd.ReadFrame()
+		if err == io.EOF {
+			return out, rd, nil
+		}
+		if err != nil {
+			return out, rd, err
+		}
+		if i >= from {
+			out = append(out, f)
+		}
+	}
+	return out, rd, nil
+}
+
+// collectFrames reads up to count frames (count < 0 = all) from an already
+// positioned Reader.
+func collectFrames(rd *mdz.Reader, count int) ([]mdz.Frame, error) {
+	var out []mdz.Frame
+	for count < 0 || len(out) < count {
 		f, err := rd.ReadFrame()
 		if err == io.EOF {
 			return out, nil
@@ -415,9 +456,7 @@ func readRange(rd *mdz.Reader, from, count int) ([]mdz.Frame, error) {
 		if err != nil {
 			return out, err
 		}
-		if i >= from {
-			out = append(out, f)
-		}
+		out = append(out, f)
 	}
 	return out, nil
 }

@@ -39,9 +39,15 @@ const (
 	lzMask40        = 1<<40 - 1
 	lzMaxHashBitsV3 = 18
 	lzHash4BitsV3   = 16
-	// lzLazyCutoff: a match this long is taken immediately — deferring it
-	// for a one-byte-shifted alternative cannot pay for the extra find.
-	lzLazyCutoff = 64
+	// lzLazyGood: a match this long is taken immediately, skipping the lazy
+	// probe. A one-byte-shifted alternative to an already-long match almost
+	// never wins by enough to pay for the extra chain walk, and the probe is
+	// the dominant cost of the lazy step on match-dense (well-predicted)
+	// quantization streams. Lowering the cutoff from its original 64 trades
+	// an (empirically ~0.01%) ratio loss for meaningfully fewer find() calls;
+	// this is an encoder-side heuristic only, so v3 wire bytes change but
+	// every decoder reads both generations identically.
+	lzLazyGood = 32
 )
 
 // lzHashBitsV3 picks the chain-table width for an input size.
@@ -177,7 +183,8 @@ func (z LZ) appendCompressV3(dst, src []byte) ([]byte, error) {
 			// Lazy step: while the match is short enough to be worth
 			// second-guessing, peek one byte ahead; a strictly longer match
 			// there demotes src[i] to a literal and restarts the comparison.
-			for l0 < lzLazyCutoff && i+1 <= end {
+			// Matches of lzLazyGood+ skip the probe entirely.
+			for l0 < lzLazyGood && i+1 <= end {
 				l1, d1 := find(i + 1)
 				if ins == i+1 {
 					insert(i + 1)

@@ -156,6 +156,30 @@ type Config struct {
 	// output bytes (deterministically, never the error bound); the
 	// decoder needs no matching setting. Ignored unless Method is ADP.
 	ADPSampleShards int
+	// SeekIndex makes Writer build a seek table — one {offset, sequence,
+	// snapshot range} record per data and checkpoint frame — and emit it
+	// as one extra frame between the last data frame and the trailer at
+	// Close. An indexed stream gives Reader.Seek/ReadRange O(1) random
+	// access (jump to the nearest checkpoint, decode only the covered
+	// frames) instead of the header-only scan rebuild; everything else —
+	// framing, fsck, salvage, resync — is unchanged, and the data frames
+	// are byte-identical to an unindexed stream. Costs a few bytes per
+	// block at Close. Only Writer consults this field.
+	SeekIndex bool
+	// ADPRetrialInterval, when > 1, amortizes ADP across evaluation
+	// rounds: a full three-method trial runs only on every Nth ADP
+	// evaluation (and whenever the incumbent's compression ratio drifts
+	// more than ~10% from the last trial); the rounds between reuse the
+	// cached winner. This covers single-shard streams that
+	// ADPSampleShards cannot help (sampling needs S < K shards). Like
+	// ADPSampleShards it can change which method encodes a batch — and so
+	// the output bytes, deterministically, never the error bound; the
+	// decoder needs no matching setting. 0 or 1 (the default) keeps a
+	// full trial at every evaluation round and the historical bytes.
+	// After a checkpoint resume the cache restarts: the first evaluation
+	// round of the resumed run always trials. Ignored unless Method is
+	// ADP.
+	ADPRetrialInterval int
 	// PipelineDepth, when positive, makes Writer overlap compression of
 	// batch N+1 with framing, checksumming and io of batch N through a
 	// bounded queue of at most PipelineDepth in-flight compressed batches.
@@ -249,6 +273,9 @@ func NewCompressor(cfg Config) (*Compressor, error) {
 	if cfg.ADPSampleShards < 0 || cfg.ADPSampleShards > core.MaxShards {
 		return nil, fmt.Errorf("mdz: ADPSampleShards must be in [0, %d], got %d", core.MaxShards, cfg.ADPSampleShards)
 	}
+	if cfg.ADPRetrialInterval < 0 {
+		return nil, fmt.Errorf("mdz: ADPRetrialInterval must be non-negative, got %d", cfg.ADPRetrialInterval)
+	}
 	if cfg.PipelineDepth < 0 || cfg.PipelineDepth > MaxPipelineDepth {
 		return nil, fmt.Errorf("mdz: PipelineDepth must be in [0, %d], got %d", MaxPipelineDepth, cfg.PipelineDepth)
 	}
@@ -302,18 +329,19 @@ func (c *Compressor) params(axis int, firstBatch [][]float64) (core.Params, erro
 		eb = quant.AbsBound(c.cfg.ErrorBound, lo, hi)
 	}
 	return core.Params{
-		ErrorBound:      eb,
-		QuantScale:      c.cfg.QuantScale,
-		Method:          c.cfg.Method,
-		Sequence:        c.cfg.Sequence,
-		AdaptInterval:   c.cfg.AdaptInterval,
-		KMeans:          kmeans.Options{Seed: int64(axis) + 1},
-		Shards:          c.cfg.Shards,
-		ADPSampleShards: c.cfg.ADPSampleShards,
-		Pool:            c.pool,
-		Tel:             core.EncoderInstruments(c.reg, axisName(axis)),
-		FormatVersion:   c.cfg.FormatVersion,
-		FaultHook:       c.faultHook,
+		ErrorBound:         eb,
+		QuantScale:         c.cfg.QuantScale,
+		Method:             c.cfg.Method,
+		Sequence:           c.cfg.Sequence,
+		AdaptInterval:      c.cfg.AdaptInterval,
+		KMeans:             kmeans.Options{Seed: int64(axis) + 1},
+		Shards:             c.cfg.Shards,
+		ADPSampleShards:    c.cfg.ADPSampleShards,
+		ADPRetrialInterval: c.cfg.ADPRetrialInterval,
+		Pool:               c.pool,
+		Tel:                core.EncoderInstruments(c.reg, axisName(axis)),
+		FormatVersion:      c.cfg.FormatVersion,
+		FaultHook:          c.faultHook,
 	}, nil
 }
 

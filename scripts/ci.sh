@@ -66,3 +66,12 @@ go run ./cmd/mdzbench -entropy -compare BENCH_entropy.json
 # the amortized-ADP knob lives in the deterministic test suite instead
 # (TestADPSampleShardsAcceptance).
 go run ./cmd/mdzbench -scale -compare BENCH_scale.json
+
+# Read-path gate, warn-only for the same wall-clock reason: diff a fresh
+# ranged-access + pipelined-decode run against the committed report. The
+# byte-identity guard on the parallel Reader is deterministic and lives in
+# the test suite (TestPipelinedReaderDifferential), re-run here under the
+# race detector because ordered delivery across read-ahead and decode
+# workers is exactly the kind of coordination races hide in.
+go run ./cmd/mdzbench -read -compare BENCH_read.json
+go test -race -count=2 -run 'TestPipelined|TestSeekIndexedStream|TestReadRangeWindows' .

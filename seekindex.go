@@ -1,0 +1,257 @@
+package mdz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+)
+
+// Seek table
+//
+// An indexed stream carries one extra frame (type frameSeekIndex) between
+// the last data/checkpoint frame and the trailer, recording for every
+// data and checkpoint frame its absolute file offset, frame sequence
+// number and snapshot range. The payload is delta-encoded:
+//
+//	ver(1)=1  uvarint(count)
+//	count × ( typ(1)  uvarint(offsetDelta)  uvarint(seqDelta)  uvarint(snapCount) )
+//
+// offsetDelta and seqDelta are against the previous entry (the first entry
+// encodes absolutes), snapCount is 0 for checkpoint entries, and SnapFrom
+// is reconstructed cumulatively — so a long stream's index costs a few
+// bytes per block. Integrity comes from the enclosing frame: the seek
+// frame's header and payload CRCs cover the whole table, and a reader that
+// fails to validate it falls back to the scan rebuild as if the index were
+// absent. The frame participates in the sequence numbering like any other,
+// so -fsck sees an unbroken chain.
+
+// seekIndexVersion versions the seek-table payload encoding.
+const seekIndexVersion = 1
+
+// SeekEntry is one seek-table record: the wire location and snapshot
+// coverage of a data or checkpoint frame. Entries are ordered by offset.
+type SeekEntry struct {
+	// Offset is the absolute byte offset of the frame's sync marker.
+	Offset int64
+	// Seq is the frame's sequence number.
+	Seq uint32
+	// Type is the frame type: frameData (0) or frameCheckpoint (1).
+	Type byte
+	// SnapFrom is the stream-wide index of the first snapshot covered by
+	// the frame (for checkpoints: the count of snapshots preceding it).
+	SnapFrom int64
+	// SnapCount is the number of snapshots in the frame (0 for
+	// checkpoints).
+	SnapCount int
+}
+
+// appendSeekIndex encodes entries into a seek-table payload.
+func appendSeekIndex(dst []byte, entries []SeekEntry) []byte {
+	dst = append(dst, seekIndexVersion)
+	dst = appendUvarint(dst, uint64(len(entries)))
+	var prevOff int64
+	var prevSeq uint32
+	for _, e := range entries {
+		dst = append(dst, e.Type)
+		dst = appendUvarint(dst, uint64(e.Offset-prevOff))
+		dst = appendUvarint(dst, uint64(e.Seq-prevSeq))
+		dst = appendUvarint(dst, uint64(e.SnapCount))
+		prevOff, prevSeq = e.Offset, e.Seq
+	}
+	return dst
+}
+
+// parseSeekIndex decodes a seek-table payload, validating monotonicity so
+// a damaged (but CRC-colliding) table can never send a seek backwards or
+// out of bounds. The per-entry floor of 4 payload bytes bounds the
+// allocation by the payload actually read.
+func parseSeekIndex(payload []byte) ([]SeekEntry, error) {
+	p := payload
+	if len(p) < 2 || p[0] != seekIndexVersion {
+		return nil, fmt.Errorf("%w: unsupported seek-table version", ErrCorruptBlock)
+	}
+	p = p[1:]
+	count, p, err := readUvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(p))/4+1 {
+		return nil, fmt.Errorf("%w: seek-table entry count %d exceeds payload", ErrCorruptBlock, count)
+	}
+	entries := make([]SeekEntry, 0, count)
+	var off, snaps int64
+	var seq uint32
+	first := true
+	for i := uint64(0); i < count; i++ {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("%w: seek table cut short", ErrCorruptBlock)
+		}
+		typ := p[0]
+		p = p[1:]
+		if typ != frameData && typ != frameCheckpoint {
+			return nil, fmt.Errorf("%w: seek-table entry with frame type %d", ErrCorruptBlock, typ)
+		}
+		var dOff, dSeq, sc uint64
+		if dOff, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
+		if dSeq, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
+		if sc, p, err = readUvarint(p); err != nil {
+			return nil, err
+		}
+		if dOff > 1<<62 || dSeq > 1<<32-1 || sc > maxFramePayload {
+			return nil, fmt.Errorf("%w: implausible seek-table entry", ErrCorruptBlock)
+		}
+		if !first && (dOff == 0 || dSeq == 0) {
+			return nil, fmt.Errorf("%w: non-monotonic seek-table entry", ErrCorruptBlock)
+		}
+		if typ == frameData && sc == 0 {
+			return nil, fmt.Errorf("%w: seek-table data entry with no snapshots", ErrCorruptBlock)
+		}
+		if typ == frameCheckpoint && sc != 0 {
+			return nil, fmt.Errorf("%w: seek-table checkpoint entry with snapshots", ErrCorruptBlock)
+		}
+		off += int64(dOff)
+		seq += uint32(dSeq)
+		entries = append(entries, SeekEntry{
+			Offset: off, Seq: seq, Type: typ,
+			SnapFrom: snaps, SnapCount: int(sc),
+		})
+		snaps += int64(sc)
+		first = false
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: trailing seek-table bytes", ErrCorruptBlock)
+	}
+	return entries, nil
+}
+
+// seekIndexSnapshots reports the total snapshot coverage of an index.
+func seekIndexSnapshots(entries []SeekEntry) int64 {
+	if len(entries) == 0 {
+		return 0
+	}
+	last := entries[len(entries)-1]
+	return last.SnapFrom + int64(last.SnapCount)
+}
+
+// findSeekEntry locates the data entry covering snapshot, plus the nearest
+// checkpoint entry preceding it (nil when the stream start is the only
+// recovery point). ok is false when snapshot is past the index.
+func findSeekEntry(entries []SeekEntry, snapshot int64) (data SeekEntry, cp *SeekEntry, ok bool) {
+	// The predicate must be monotonic over the mixed entry sequence for
+	// sort.Search, so it tests end-of-coverage (SnapFrom+SnapCount, which
+	// never decreases) rather than entry type. A checkpoint's coverage ends
+	// where the previous data frame's does, so the search can only land on
+	// one when no data frame covers the target; the forward skip below keeps
+	// that case (and any malformed index) out of the fast path.
+	i := sort.Search(len(entries), func(i int) bool {
+		e := entries[i]
+		return e.SnapFrom+int64(e.SnapCount) > snapshot
+	})
+	for i < len(entries) && entries[i].Type != frameData {
+		i++
+	}
+	if i == len(entries) {
+		return SeekEntry{}, nil, false
+	}
+	for j := i - 1; j >= 0; j-- {
+		if entries[j].Type == frameCheckpoint {
+			cp = &entries[j]
+			break
+		}
+	}
+	return entries[i], cp, true
+}
+
+// appendUvarint is binary.AppendUvarint without the import churn of mixing
+// encoding styles in this file.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// readUvarint decodes one uvarint from p, returning the remainder.
+func readUvarint(p []byte) (uint64, []byte, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(p); i++ {
+		b := p[i]
+		if shift >= 63 && b > 1 {
+			break
+		}
+		if b < 0x80 {
+			return v | uint64(b)<<shift, p[i+1:], nil
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, p, fmt.Errorf("%w: malformed varint in seek table", ErrCorruptBlock)
+}
+
+// RetrofitSeekIndex copies a complete, healthy v2/v3 stream from src to
+// dst, inserting a seek-table frame immediately before the trailer — the
+// `mdzc -index` retrofit for streams written before Config.SeekIndex (or
+// with it off). The data and checkpoint frames are copied byte-for-byte,
+// so every index offset matches the copy exactly; the seek frame takes the
+// trailer's old sequence number and the trailer is re-emitted one higher.
+// src must be strict-mode readable (corrupt or truncated streams are
+// rejected: salvage first, then index). Returns the number of indexed
+// frames.
+func RetrofitSeekIndex(src io.ReadSeeker, dst io.Writer) (int, error) {
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	sc := newStreamScanner(src)
+	if err := sc.open(); err != nil {
+		return 0, err
+	}
+	entries, trailer, err := sc.scan(true)
+	if err != nil {
+		return 0, err
+	}
+	if trailer == nil {
+		return 0, fmt.Errorf("mdz: stream has no trailer: %w", ErrTruncated)
+	}
+	if sc.hasIndex {
+		return 0, errors.New("mdz: stream already carries a seek table")
+	}
+	// Copy everything up to the trailer byte-for-byte, so the index
+	// offsets recorded against the source hold in the copy.
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	if _, err := io.CopyN(dst, src, trailer.off); err != nil {
+		return 0, err
+	}
+	out := appendWireFrame(nil, frameSeekIndex, trailer.seq, appendSeekIndex(nil, entries))
+	out = appendWireFrame(out, frameTrailer, trailer.seq+1, trailer.payload)
+	if _, err := dst.Write(out); err != nil {
+		return 0, err
+	}
+	return len(entries), nil
+}
+
+// appendWireFrame appends one complete wire frame (header, payload, CRCs)
+// to dst — the same bytes Writer.emitFrame produces.
+func appendWireFrame(dst []byte, typ byte, seq uint32, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	copy(hdr[:4], frameSync[:])
+	hdr[4] = typ
+	binary.LittleEndian.PutUint32(hdr[5:9], seq)
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[13:17], crc32.Checksum(hdr[4:13], crcTable))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	var pcrc [frameCRCSize]byte
+	binary.LittleEndian.PutUint32(pcrc[:], crc32.Checksum(payload, crcTable))
+	return append(dst, pcrc[:]...)
+}

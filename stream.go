@@ -50,6 +50,12 @@ const (
 	frameData       = 0
 	frameCheckpoint = 1
 	frameTrailer    = 2
+	// frameSeekIndex carries the opt-in seek table (Config.SeekIndex): one
+	// offset/seq/snapshot-range record per data and checkpoint frame,
+	// emitted between the last data frame and the trailer. Readers that
+	// don't consult it skip it like any other non-data frame; salvage-mode
+	// readers predating the type resynchronize past it.
+	frameSeekIndex = 3
 )
 
 // frameSync is the v2 frame marker. The non-ASCII guard bytes keep it from
@@ -104,6 +110,11 @@ type Writer struct {
 	// raw/compressed byte counters for reporting
 	rawBytes, compBytes int64
 	tel                 streamWriterTel
+
+	// Seek table (Config.SeekIndex): one entry per data/checkpoint frame,
+	// emitted as a frameSeekIndex frame just before the trailer at Close.
+	indexOn bool
+	index   []SeekEntry
 
 	// Pipelined mode (Config.PipelineDepth > 0): frames are enqueued on
 	// pipe — already sequence-numbered and fully accounted — and a single
@@ -161,6 +172,7 @@ func NewWriter(w io.Writer, cfg Config) (*Writer, error) {
 	sw := &Writer{
 		c: c, w: bufio.NewWriterSize(w, 1<<20), bs: bs,
 		interval: cfg.CheckpointInterval,
+		indexOn:  cfg.SeekIndex,
 		tel:      newStreamWriterTel(c.reg),
 	}
 	if cfg.PipelineDepth > 0 {
@@ -209,8 +221,17 @@ func (w *Writer) flush() error {
 	if err != nil {
 		return w.fail(err)
 	}
+	// Counters are caller-side even in pipelined mode, so w.compBytes and
+	// w.seq at this point are exactly the frame's wire offset and sequence.
+	entry := SeekEntry{
+		Offset: w.compBytes, Seq: w.seq, Type: frameData,
+		SnapFrom: w.frames, SnapCount: len(w.pending),
+	}
 	if err := w.writeFrame(frameData, blk); err != nil {
 		return err
+	}
+	if w.indexOn {
+		w.index = append(w.index, entry)
 	}
 	w.rawBytes += int64(len(w.pending) * w.pending[0].N() * 3 * 8)
 	w.blocks++
@@ -345,7 +366,16 @@ func (w *Writer) writeCheckpoint() error {
 	if err != nil {
 		return w.fail(err)
 	}
-	return w.writeFrame(frameCheckpoint, payload)
+	entry := SeekEntry{
+		Offset: w.compBytes, Seq: w.seq, Type: frameCheckpoint, SnapFrom: w.frames,
+	}
+	if err := w.writeFrame(frameCheckpoint, payload); err != nil {
+		return err
+	}
+	if w.indexOn {
+		w.index = append(w.index, entry)
+	}
+	return nil
 }
 
 func (w *Writer) fail(err error) error {
@@ -399,6 +429,12 @@ type WriterState struct {
 	// Pending holds the snapshots buffered but not yet flushed into a
 	// block, in arrival order.
 	Pending []Frame
+	// SeekIndex reports that the exporting Writer was building a seek
+	// table (Config.SeekIndex); Index holds the entries accumulated so
+	// far. A resuming Writer with SeekIndex enabled continues the table
+	// from these entries so the final stream's index is complete.
+	SeekIndex bool
+	Index     []SeekEntry
 }
 
 // ExportState snapshots the Writer for migration. It first flushes
@@ -426,6 +462,8 @@ func (w *Writer) ExportState() (*WriterState, error) {
 		Opened: w.opened, Seq: w.seq,
 		Blocks: w.blocks, Frames: w.frames,
 		RawBytes: w.rawBytes, CompBytes: w.compBytes,
+		SeekIndex: w.indexOn,
+		Index:     append([]SeekEntry(nil), w.index...),
 	}
 	if w.blocks > 0 {
 		cp, err := w.c.ExportState()
@@ -465,6 +503,12 @@ func ResumeWriter(dst io.Writer, cfg Config, st *WriterState) (*Writer, error) {
 		return nil, fmt.Errorf("%w: checkpoint format v%d does not match Config.FormatVersion v%d",
 			ErrStateDesync, normalizeFormat(st.Checkpoint.Format), normalizeFormat(cfg.FormatVersion))
 	}
+	if cfg.SeekIndex && !st.SeekIndex && st.Seq > 0 {
+		// The already-written frames were never indexed; a table built from
+		// here on would silently omit them. (The scan rebuild or `mdzc
+		// -index` can retrofit the finished stream instead.)
+		return nil, fmt.Errorf("%w: SeekIndex enabled but the exported writer was not indexing", ErrStateDesync)
+	}
 	w, err := NewWriter(dst, cfg)
 	if err != nil {
 		return nil, err
@@ -481,6 +525,9 @@ func ResumeWriter(dst io.Writer, cfg Config, st *WriterState) (*Writer, error) {
 	w.rawBytes = st.RawBytes
 	w.compBytes = st.CompBytes
 	w.pending = append(w.pending, st.Pending...)
+	if w.indexOn {
+		w.index = append(w.index, st.Index...)
+	}
 	return w, nil
 }
 
@@ -514,6 +561,13 @@ func (w *Writer) Close() error {
 		return err
 	}
 	if w.opened {
+		if w.indexOn {
+			if err := w.writeFrame(frameSeekIndex, appendSeekIndex(nil, w.index)); err != nil {
+				w.stopPipeline()
+				w.w.Flush()
+				return err
+			}
+		}
 		trailer := bitstreamAppendTrailer(nil, w.frames, w.blocks)
 		if err := w.writeFrame(frameTrailer, trailer); err != nil {
 			w.stopPipeline()
@@ -544,6 +598,15 @@ type ReaderOptions struct {
 	// Workers bounds decompression parallelism (0 = GOMAXPROCS,
 	// 1 = serial); decoded frames are identical for any worker count.
 	Workers int
+	// Pipeline, when positive, overlaps frame fetch with decode: a
+	// read-ahead goroutine parses and CRC-checks up to Pipeline frames
+	// while groups of independent data frames decode concurrently on the
+	// Workers pool, delivered strictly in order — the read-side mirror of
+	// Config.PipelineDepth. Decoded frames are byte-identical to a serial
+	// read. Ignored in Resync mode (salvage accounting needs the serial
+	// scan) and for v1 streams. A pipelined Reader holds a goroutine until
+	// the stream is drained or Close is called.
+	Pipeline int
 	// Resync makes corruption survivable: instead of failing on the first
 	// corrupt frame, the Reader scans forward for the next sync marker,
 	// re-establishes decoder state (from the clean prefix or the next
@@ -625,6 +688,26 @@ type Reader struct {
 	blocks    int64  // data blocks decoded
 	stats     SalvageStats
 	tel       streamReaderTel
+
+	// Random access (see seek.go). srcSeeker is src when it supports
+	// seeking; seeked relaxes the trailer-total check (the skipped prefix
+	// was intentional) and skipSnaps drops the head of the first decoded
+	// block when the target falls mid-block.
+	srcSeeker   io.ReadSeeker
+	index       []SeekEntry
+	indexLoaded bool
+	seeked      bool
+	skipSnaps   int
+
+	// Pipelined decode-ahead (see readpipe.go). pipePending holds a fetched
+	// frame pulled while assembling a decode group but not yet processed;
+	// pipeDefer holds an error discovered mid-group, surfaced once the
+	// frames decoded before it are consumed.
+	pipeDepth   int
+	pipe        *readPipe
+	pipePending *pipeItem
+	pipeDefer   error
+	clones      []*Decompressor
 }
 
 // streamReaderTel mirrors SalvageStats into live instruments. All fields
@@ -669,13 +752,33 @@ func NewReaderWith(r io.Reader, opts ReaderOptions) *Reader {
 		Context:        opts.Context,
 		MaxDecodeBytes: opts.MaxDecodeBytes,
 	})
-	return &Reader{
+	rd := &Reader{
 		d:      d,
 		src:    r,
 		resync: opts.Resync,
 		ctx:    opts.Context,
 		tel:    newStreamReaderTel(d.reg),
 	}
+	if rs, ok := r.(io.ReadSeeker); ok {
+		rd.srcSeeker = rs
+	}
+	if opts.Pipeline > 0 && !opts.Resync {
+		rd.pipeDepth = opts.Pipeline
+		if rd.pipeDepth > MaxPipelineDepth {
+			rd.pipeDepth = MaxPipelineDepth
+		}
+	}
+	return rd
+}
+
+// Close releases the Reader's resources — today, the read-ahead goroutine
+// of a pipelined Reader. It never touches the underlying source and is a
+// no-op for serial Readers; a Reader read to io.EOF (or a sticky error)
+// has already wound down, but callers abandoning a pipelined Reader
+// mid-stream must Close it.
+func (r *Reader) Close() error {
+	r.stopPipe()
+	return nil
 }
 
 // SalvageStats reports what a Resync reader skipped, dropped and
@@ -704,26 +807,31 @@ const fillChunk = 64 << 10
 // fillTo grows the window until at least n unconsumed bytes are available,
 // reporting whether it succeeded. It never pre-allocates a claimed length:
 // capacity only tracks bytes actually read, so a forged frame length
-// cannot trigger a huge allocation.
+// cannot trigger a huge allocation. The window is only moved when the tail
+// is actually full — a buffer already large enough is compacted in place
+// (one copy), and growth copies the live region straight into the new
+// buffer instead of compacting first.
 func (r *Reader) fillTo(n int) bool {
 	for r.buffered() < n {
 		if r.srcErr != nil {
 			return false
 		}
-		if r.pos > 0 {
-			rem := r.buffered()
-			copy(r.buf, r.buf[r.pos:])
-			r.buf = r.buf[:rem]
-			r.pos = 0
-		}
 		if len(r.buf) == cap(r.buf) {
-			ncap := 2 * cap(r.buf)
-			if ncap < fillChunk {
-				ncap = fillChunk
+			rem := r.buffered()
+			if n <= cap(r.buf) {
+				// Large enough already: compaction alone frees the tail.
+				copy(r.buf, r.buf[r.pos:])
+				r.buf = r.buf[:rem]
+			} else {
+				ncap := 2 * cap(r.buf)
+				if ncap < fillChunk {
+					ncap = fillChunk
+				}
+				nb := make([]byte, rem, ncap)
+				copy(nb, r.buf[r.pos:])
+				r.buf = nb
 			}
-			nb := make([]byte, len(r.buf), ncap)
-			copy(nb, r.buf)
-			r.buf = nb
+			r.pos = 0
 		}
 		m, err := r.src.Read(r.buf[len(r.buf):cap(r.buf)])
 		r.buf = r.buf[:len(r.buf)+m]
@@ -779,9 +887,12 @@ func (r *Reader) ReadFrame() (Frame, error) {
 			}
 		}
 		var err error
-		if r.v2 {
+		switch {
+		case r.v2 && r.pipeDepth > 0:
+			err = r.nextBatchPiped()
+		case r.v2:
 			err = r.nextBatchV2()
-		} else {
+		default:
 			err = r.nextBatchV1()
 		}
 		if err != nil {
@@ -793,9 +904,14 @@ func (r *Reader) ReadFrame() (Frame, error) {
 	return f, nil
 }
 
-// ReadAll drains the stream into a slice.
+// ReadAll drains the stream into a slice. On a seekable source carrying a
+// seek table the result is preallocated from the table's snapshot total
+// instead of growing frame by frame.
 func (r *Reader) ReadAll() ([]Frame, error) {
 	var out []Frame
+	if total, ok := r.indexTotalSnaps(); ok && total > 0 && total <= 1<<30 {
+		out = make([]Frame, 0, total)
+	}
 	for {
 		f, err := r.ReadFrame()
 		if errors.Is(err, io.EOF) {
@@ -914,7 +1030,7 @@ func (r *Reader) parseFrame() (frameParse, error) {
 	if crc32.Checksum(hdr[4:13], crcTable) != binary.LittleEndian.Uint32(hdr[13:17]) {
 		return fp, errNotFrame
 	}
-	if hdr[4] > frameTrailer {
+	if hdr[4] > frameSeekIndex {
 		return fp, errNotFrame
 	}
 	n := binary.LittleEndian.Uint32(hdr[9:13])
@@ -1109,9 +1225,30 @@ func (r *Reader) nextBatchV2() error {
 				continue
 			}
 			r.blocks++
+			if batch = r.trimSeekSkip(batch); len(batch) == 0 {
+				continue
+			}
 			r.delivered += int64(len(batch))
 			r.queue = batch
 			return nil
+
+		case frameSeekIndex:
+			// The table is only consulted by Seek (which loads it by
+			// offset); a sequential reader validates and caches it in
+			// passing. A malformed payload inside an intact frame is real
+			// corruption: the writer never emits one.
+			if idx, ierr := parseSeekIndex(fp.payload); ierr == nil {
+				if !r.indexLoaded {
+					r.index, r.indexLoaded = idx, true
+				}
+			} else {
+				cbe := &CorruptBlockError{Block: fp.seq, Offset: frameOff, Cause: ierr}
+				if !r.resync {
+					return cbe
+				}
+				r.recordCorrupt(cbe)
+			}
+			continue
 
 		case frameCheckpoint:
 			st := &CheckpointState{}
@@ -1168,6 +1305,15 @@ func (r *Reader) nextBatchV2() error {
 			}
 			r.trailer = true
 			if !r.resync {
+				// After a Seek the undelivered prefix is intentional, so the
+				// totals can only be bounds-checked, not matched exactly.
+				if r.seeked {
+					if int64(snapTotal) < r.delivered || int64(blockTotal) < r.blocks {
+						return fmt.Errorf("%w: trailer claims %d snapshots in %d blocks, decoded %d in %d after a seek",
+							ErrCorruptBlock, snapTotal, blockTotal, r.delivered, r.blocks)
+					}
+					return io.EOF
+				}
 				if int64(snapTotal) != r.delivered || int64(blockTotal) != r.blocks {
 					return fmt.Errorf("%w: trailer claims %d snapshots in %d blocks, decoded %d in %d",
 						ErrCorruptBlock, snapTotal, blockTotal, r.delivered, r.blocks)
@@ -1175,14 +1321,29 @@ func (r *Reader) nextBatchV2() error {
 				return io.EOF
 			}
 			// With the trailer's exact totals, replace the header-derived
-			// loss estimate.
-			if int64(snapTotal) >= r.delivered {
+			// loss estimate (not after a seek: the skipped prefix is not a
+			// loss).
+			if !r.seeked && int64(snapTotal) >= r.delivered {
 				r.stats.DroppedFrames = int(int64(snapTotal) - r.delivered)
 				r.tel.droppedFrames.Set(int64(r.stats.DroppedFrames))
 			}
 			return io.EOF
 		}
 	}
+}
+
+// trimSeekSkip drops the leading snapshots of the first block decoded
+// after a mid-block Seek, so delivery starts exactly at the target.
+func (r *Reader) trimSeekSkip(batch []Frame) []Frame {
+	if r.skipSnaps <= 0 {
+		return batch
+	}
+	k := r.skipSnaps
+	if k > len(batch) {
+		k = len(batch)
+	}
+	r.skipSnaps -= k
+	return batch[k:]
 }
 
 // recordCorrupt accounts one corruption event.
